@@ -1,0 +1,340 @@
+// Package gridmind_test holds the benchmark harness: one testing.B target
+// per paper table/figure (E1-E5 in DESIGN.md) plus the ablation benches
+// (A1-A4) for the design decisions the architecture section calls out.
+//
+// Figure/table benches run scaled-down configurations so -bench=. stays
+// tractable; cmd/gridmind-bench regenerates the full paper-scale tables.
+package gridmind_test
+
+import (
+	"context"
+	"testing"
+
+	"gridmind"
+	"gridmind/internal/cases"
+	"gridmind/internal/contingency"
+	"gridmind/internal/experiments"
+	"gridmind/internal/llm"
+	"gridmind/internal/mat"
+	"gridmind/internal/model"
+	"gridmind/internal/opf"
+	"gridmind/internal/powerflow"
+	"gridmind/internal/scopf"
+	"gridmind/internal/sensitivity"
+	"gridmind/internal/sparse"
+)
+
+// --- E1: Figure 3 (left) — success rate by model ---
+
+func BenchmarkFigure3SuccessRate(b *testing.B) {
+	cfg := experiments.Config{Models: []string{llm.ModelGPTO3}, Runs: 1, Case: "case30"}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure3Success(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].SuccessRate != 100 {
+			b.Fatalf("success rate %v", rows[0].SuccessRate)
+		}
+	}
+}
+
+// --- E2: Figure 3 (middle) — execution time distribution ---
+
+func BenchmarkFigure3TimeDistribution(b *testing.B) {
+	cfg := experiments.Config{Models: []string{llm.ModelGPTO4Mini}, Runs: 3, Case: "case30"}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3Distribution(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3: Figure 3 (right) — execution time vs case complexity ---
+
+func BenchmarkFigure3CaseScaling(b *testing.B) {
+	cfg := experiments.Config{
+		Models: []string{llm.ModelGPT5Mini}, Runs: 1,
+		Cases: []string{"case14", "case30", "case57"},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3Scaling(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E4: Table 1 — CA agent performance ---
+
+func BenchmarkTable1ContingencyAgent(b *testing.B) {
+	cfg := experiments.Config{Models: []string{llm.ModelGPTO3}, Runs: 1, Case: "case30"}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows[0].CriticalLines) == 0 {
+			b.Fatal("no critical lines")
+		}
+	}
+}
+
+// --- E5: Table 2 — case inventory ---
+
+func BenchmarkTable2CaseInventory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// --- Core solver benchmarks (the deterministic substrate) ---
+
+func benchACOPF(b *testing.B, caseName string) {
+	n := cases.MustLoad(caseName)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := opf.SolveACOPF(n, opf.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sol.Solved {
+			b.Fatal("not solved")
+		}
+	}
+}
+
+func BenchmarkACOPFCase14(b *testing.B)  { benchACOPF(b, "case14") }
+func BenchmarkACOPFCase30(b *testing.B)  { benchACOPF(b, "case30") }
+func BenchmarkACOPFCase118(b *testing.B) { benchACOPF(b, "case118") }
+
+func benchPowerFlow(b *testing.B, caseName string) {
+	n := cases.MustLoad(caseName)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := powerflow.Solve(n, powerflow.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPowerFlowCase118(b *testing.B) { benchPowerFlow(b, "case118") }
+func BenchmarkPowerFlowCase300(b *testing.B) { benchPowerFlow(b, "case300") }
+
+func BenchmarkN1SweepCase118(b *testing.B) {
+	n := cases.MustLoad("case118")
+	base, err := powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := contingency.Analyze(n, base, contingency.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- A1: sparse vs dense linear solve on a power-system matrix ---
+
+// dcMatrix builds the DC susceptance matrix of the case (the archetypal
+// power-system sparsity pattern) in triplet form.
+func dcMatrix(n *model.Network) *sparse.COO {
+	nb := len(n.Buses)
+	coo := sparse.NewCOO(nb, nb)
+	for i := 0; i < nb; i++ {
+		coo.Add(i, i, 1) // shunt regularization keeps it nonsingular
+	}
+	for _, br := range n.Branches {
+		if !br.InService || br.X == 0 {
+			continue
+		}
+		bb := 1 / br.X
+		coo.Add(br.From, br.From, bb)
+		coo.Add(br.To, br.To, bb)
+		coo.Add(br.From, br.To, -bb)
+		coo.Add(br.To, br.From, -bb)
+	}
+	return coo
+}
+
+func BenchmarkAblationSparseVsDenseSparse(b *testing.B) {
+	n := cases.MustLoad("case300")
+	csc := dcMatrix(n).ToCSC()
+	rhs := make([]float64, len(n.Buses))
+	for i := range rhs {
+		rhs[i] = float64(i%7) - 3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparse.SolveCSC(csc, rhs, sparse.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSparseVsDenseDense(b *testing.B) {
+	n := cases.MustLoad("case300")
+	nb := len(n.Buses)
+	dense := mat.NewDense(nb, nb)
+	dcMatrix(n).Each(func(i, j int, v float64) { dense.Add(i, j, v) })
+	rhs := make([]float64, nb)
+	for i := range rhs {
+		rhs[i] = float64(i%7) - 3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mat.SolveDense(dense, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- A2: contingency cache on repeated analyses (§3.4) ---
+
+func BenchmarkAblationContingencyCacheCold(b *testing.B) {
+	n := cases.MustLoad("case30")
+	base, _ := powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := contingency.Analyze(n, base, contingency.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationContingencyCacheWarm(b *testing.B) {
+	n := cases.MustLoad("case30")
+	base, _ := powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
+	cache := contingency.NewCache()
+	opts := contingency.Options{Cache: cache, CacheKeyPrefix: "state0"}
+	if _, err := contingency.Analyze(n, base, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := contingency.Analyze(n, base, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- A3: parallel contingency sweep scaling (§3.2.2) ---
+
+func benchSweepWorkers(b *testing.B, workers int) {
+	n := cases.MustLoad("case118")
+	base, err := powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := contingency.Analyze(n, base, contingency.Options{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationParallelSweep1(b *testing.B) { benchSweepWorkers(b, 1) }
+func BenchmarkAblationParallelSweep4(b *testing.B) { benchSweepWorkers(b, 4) }
+
+// --- A5: LODF+1Q screening vs full AC contingency sweep ---
+
+func BenchmarkAblationScreeningOff(b *testing.B) {
+	n := cases.MustLoad("case118")
+	base, err := powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := contingency.Analyze(n, base, contingency.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationScreeningOn(b *testing.B) {
+	n := cases.MustLoad("case118")
+	base, err := powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := contingency.Analyze(n, base, contingency.Options{DCScreen: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs.Screened == 0 {
+			b.Fatal("screening inactive")
+		}
+	}
+}
+
+// --- Extension workloads: SCOPF and sensitivity ---
+
+func BenchmarkSCOPFCase57(b *testing.B) {
+	n := cases.MustLoad("case57")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scopf.Solve(n, scopf.Options{Screen: true, MaxRounds: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSensitivityProbes(b *testing.B) {
+	n := cases.MustLoad("case30")
+	base, err := opf.SolveACOPF(n, opf.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sensitivity.LoadImpacts(n, base, []int{7, 21, 30}, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- A4: warm vs flat start post-outage power flow (§3.1) ---
+
+func benchOutageStart(b *testing.B, warm bool) {
+	n := cases.MustLoad("case118")
+	base, err := powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := contingency.Options{NoWarmStart: !warm}
+	branches := n.InServiceBranches()[:20]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range branches {
+			contingency.AnalyzeOne(n, base, k, opts)
+		}
+	}
+}
+
+func BenchmarkAblationWarmStart(b *testing.B) { benchOutageStart(b, true) }
+func BenchmarkAblationFlatStart(b *testing.B) { benchOutageStart(b, false) }
+
+// --- End-to-end conversational turn through the public API ---
+
+func BenchmarkConversationalTurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		gm := gridmind.New(gridmind.Options{Model: gridmind.ModelGPTO3, Salt: int64(i)})
+		ex, err := gm.Ask(context.Background(), "Solve IEEE 30")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ex.Success {
+			b.Fatal("turn failed")
+		}
+	}
+}

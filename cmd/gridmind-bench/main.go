@@ -1,0 +1,107 @@
+// Command gridmind-bench regenerates the paper's evaluation artifacts:
+// every panel of Figure 3 and Tables 1-2, at the paper's configuration
+// (six models, five runs, case118) or a custom scope.
+//
+// Usage:
+//
+//	gridmind-bench                         # everything, paper configuration
+//	gridmind-bench -experiment table1      # one experiment
+//	gridmind-bench -runs 3 -case case30    # scaled-down scope
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gridmind/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all",
+		"which experiment: fig3-success, fig3-dist, fig3-scaling, table1, table2, reliability, all")
+	runs := flag.Int("runs", 5, "runs per (model, case) cell")
+	caseName := flag.String("case", "case118", "fixed case for fig3-success/fig3-dist/table1")
+	models := flag.String("models", "", "comma-separated model subset (default: all six)")
+	flag.Parse()
+
+	cfg := experiments.Config{Runs: *runs, Case: *caseName}
+	if *models != "" {
+		cfg.Models = strings.Split(*models, ",")
+	}
+	ctx := context.Background()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table2", func() error {
+		rows, err := experiments.Table2()
+		if err != nil {
+			return err
+		}
+		experiments.FormatTable2(os.Stdout, rows)
+		return nil
+	})
+	run("fig3-success", func() error {
+		rows, err := experiments.Figure3Success(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		experiments.FormatSuccess(os.Stdout, rows)
+		return nil
+	})
+	run("fig3-dist", func() error {
+		rows, err := experiments.Figure3Distribution(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		experiments.FormatDistribution(os.Stdout, rows)
+		return nil
+	})
+	run("fig3-scaling", func() error {
+		scaleCfg := cfg
+		if *exp == "all" && *runs > 3 {
+			// The full 6×5 sweep with 5 runs is ~150 agent turns; 3 runs
+			// match the paper's qualitative panel at a third of the cost.
+			scaleCfg.Runs = 3
+		}
+		pts, err := experiments.Figure3Scaling(ctx, scaleCfg)
+		if err != nil {
+			return err
+		}
+		experiments.FormatScaling(os.Stdout, pts)
+		return nil
+	})
+	run("table1", func() error {
+		rows, err := experiments.Table1(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		experiments.FormatTable1(os.Stdout, rows)
+		return nil
+	})
+	run("reliability", func() error {
+		relCfg := cfg
+		if *exp == "all" {
+			// Mixed sessions are heavy (each runs several solves); two
+			// sessions per model suffice for the trend table.
+			relCfg.Runs = 2
+		}
+		rows, err := experiments.Reliability(ctx, relCfg)
+		if err != nil {
+			return err
+		}
+		experiments.FormatReliability(os.Stdout, rows)
+		return nil
+	})
+}

@@ -1,0 +1,88 @@
+// Command gridmind-server exposes GridMind over HTTP: a JSON ask API for
+// the multi-agent pipeline and a chat-completions endpoint that serves
+// the simulated LLM backends (so external agent frameworks can test
+// against GridMind's model profiles).
+//
+// Endpoints:
+//
+//	POST /ask                  {"query": "..."}            → coordinated reply
+//	GET  /cases                                            → Table 2 inventory
+//	GET  /metrics                                          → instrumentation CSV
+//	POST /v1/chat/completions  chat-completions dialect    → simulated backend
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"gridmind"
+	"gridmind/internal/llm"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	modelName := flag.String("model", gridmind.ModelGPTO3, "simulated model profile")
+	flag.Parse()
+	if err := gridmind.ValidateModel(*modelName); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	gm := gridmind.New(gridmind.Options{Model: *modelName})
+	profile, _ := llm.ProfileByName(*modelName)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ask", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var in struct {
+			Query string `json:"query"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&in); err != nil || in.Query == "" {
+			http.Error(w, "body must be {\"query\": \"...\"}", http.StatusBadRequest)
+			return
+		}
+		ex, err := gm.Ask(r.Context(), in.Query)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"reply":     ex.Reply,
+			"success":   ex.Success,
+			"turns":     len(ex.Turns),
+			"latency_s": ex.Latency.Seconds(),
+			"workflow":  ex.Steps,
+		})
+	})
+	mux.HandleFunc("/cases", func(w http.ResponseWriter, r *http.Request) {
+		rows, err := gridmind.CaseSummaries()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(rows)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/csv")
+		_ = gm.WriteMetricsCSV(w)
+	})
+	mux.Handle("/v1/chat/completions", llm.Handler(llm.NewSim(profile)))
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("gridmind-server listening on %s (model %s)", *addr, *modelName)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,173 @@
+// Command gridmind is the conversational front door (§3.1): type intent,
+// the agents parse it, plan a minimal sequence, call the deterministic
+// solvers, validate the numbers, and reply.
+//
+// Usage:
+//
+//	gridmind                          # REPL with the default simulated model
+//	gridmind -model "GPT-5 Mini"      # pick a simulated backend profile
+//	gridmind -endpoint http://...     # route to a live chat-completions API
+//	gridmind -q "Solve IEEE 118"      # one-shot query, then exit
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gridmind"
+	"gridmind/internal/report"
+)
+
+func main() {
+	modelName := flag.String("model", gridmind.ModelGPTO3, "simulated model profile (see -list-models)")
+	endpoint := flag.String("endpoint", "", "chat-completions endpoint for a live LLM backend")
+	query := flag.String("q", "", "one-shot query; omit for the interactive REPL")
+	listModels := flag.Bool("list-models", false, "print the evaluated model profiles and exit")
+	metricsOut := flag.String("metrics", "", "write the instrumentation log (CSV) to this file on exit")
+	flag.Parse()
+
+	if *listModels {
+		for _, m := range gridmind.Models() {
+			fmt.Println(m)
+		}
+		return
+	}
+	if *endpoint == "" {
+		if err := gridmind.ValidateModel(*modelName); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	gm := gridmind.New(gridmind.Options{Model: *modelName, Endpoint: *endpoint})
+	ctx := context.Background()
+
+	defer func() {
+		if *metricsOut == "" {
+			return
+		}
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			return
+		}
+		defer f.Close()
+		if err := gm.WriteMetricsCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+		}
+	}()
+
+	if *query != "" {
+		if !ask(ctx, gm, *query) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("GridMind — conversational power system analysis")
+	fmt.Printf("backend: %s   cases: %s\n", *modelName, strings.Join(gridmind.CaseNames(), ", "))
+	fmt.Println(`try: "Solve IEEE 118", "Increase the load at bus 10 to 50 MW",`)
+	fmt.Println(`     "What are the most critical contingencies?", or ":help"`)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("\ngridmind> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch strings.ToLower(line) {
+		case "":
+			continue
+		case "exit", "quit":
+			return
+		}
+		if strings.HasPrefix(line, ":") {
+			command(gm, line)
+			continue
+		}
+		ask(ctx, gm, line)
+	}
+}
+
+// command handles the non-conversational REPL verbs (reports, session
+// persistence, instrumentation).
+func command(gm *gridmind.GridMind, line string) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ":help":
+		report.Banner(os.Stdout)
+	case ":report":
+		sess := gm.Session()
+		n, err := sess.Network()
+		if err != nil {
+			fmt.Println("no case loaded yet")
+			return
+		}
+		if sol, _ := sess.ACOPF(); sol != nil {
+			report.Solution(os.Stdout, n, sol)
+			report.QualityReport(os.Stdout, gridmind.AssessQuality(n, sol))
+		} else {
+			fmt.Println("no ACOPF solution yet — ask me to solve a case")
+		}
+		if rs, _ := sess.CASweep(); rs != nil {
+			fmt.Println()
+			report.Sweep(os.Stdout, rs, 5)
+		}
+	case ":session":
+		report.Session(os.Stdout, gm.Session())
+	case ":metrics":
+		if err := gm.WriteMetricsCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+		}
+	case ":save":
+		if len(fields) < 2 {
+			fmt.Println("usage: :save FILE")
+			return
+		}
+		f, err := os.Create(fields[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		defer f.Close()
+		if err := gm.PersistSession(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		fmt.Println("session saved to", fields[1])
+	case ":load":
+		if len(fields) < 2 {
+			fmt.Println("usage: :load FILE")
+			return
+		}
+		f, err := os.Open(fields[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		defer f.Close()
+		if err := gm.RestoreSession(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		fmt.Println("session restored from", fields[1])
+		report.Session(os.Stdout, gm.Session())
+	default:
+		fmt.Printf("unknown command %s (try :help)\n", fields[0])
+	}
+}
+
+func ask(ctx context.Context, gm *gridmind.GridMind, q string) bool {
+	ex, err := gm.Ask(ctx, q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return false
+	}
+	fmt.Println(ex.Reply)
+	fmt.Printf("\n[%d agent turn(s), %.1f s session time, success=%t]\n",
+		len(ex.Turns), ex.Latency.Seconds(), ex.Success)
+	return ex.Success
+}

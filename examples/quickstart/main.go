@@ -1,0 +1,43 @@
+// Quickstart: the abridged dialogue from the paper's §3.2 — solve a case
+// conversationally, run a what-if, and inspect the audited session state.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"gridmind"
+)
+
+func main() {
+	gm := gridmind.New(gridmind.Options{Model: gridmind.ModelGPTO3})
+	ctx := context.Background()
+
+	// "User: Solve IEEE 118."
+	ex, err := gm.Ask(ctx, "Solve IEEE 118")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Q: Solve IEEE 118")
+	fmt.Println("A:", ex.Reply)
+	fmt.Printf("   (%.1f s simulated end-to-end, %d tool call(s))\n\n",
+		ex.Latency.Seconds(), ex.Turns[0].ToolCalls)
+
+	// "User: Increase the load for bus 10 to 50MW."
+	ex, err = gm.Ask(ctx, "Increase the load for bus 10 to 50 MW")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Q: Increase the load for bus 10 to 50 MW")
+	fmt.Println("A:", ex.Reply)
+
+	// Every number above is auditable: the structured artifact lives in
+	// the session with provenance.
+	sol, fresh := gm.Session().ACOPF()
+	fmt.Printf("\naudit: stored objective cost %.2f $/h (fresh=%t), diff log has %d entr(ies)\n",
+		sol.ObjectiveCost, fresh, len(gm.Session().Diffs()))
+	for _, p := range gm.Session().Provenance() {
+		fmt.Printf("  provenance: %-22s state=%s %s\n", p.Tool, p.DiffHash[:8], p.Detail)
+	}
+}

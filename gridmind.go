@@ -1,0 +1,241 @@
+// Package gridmind is the public API of GridMind-Go, a from-scratch Go
+// reproduction of "GridMind: LLMs-Powered Agents for Power System
+// Analysis and Operations" (Jin, Kim & Kwon, Argonne National Laboratory,
+// 2025): a multi-agent AI system that couples conversational LLM agents
+// with deterministic power-system solvers — AC optimal power flow and N-1
+// contingency analysis — over strongly typed, schema-validated tools and
+// a shared, versioned session context.
+//
+// # Quick start
+//
+//	gm := gridmind.New(gridmind.Options{Model: gridmind.ModelGPTO3})
+//	ex, err := gm.Ask(context.Background(), "Solve IEEE 118")
+//	fmt.Println(ex.Reply)
+//
+// Every numeric in a reply is pulled from stored structured solver
+// results; the narration is audited against them before it is returned.
+//
+// The solvers are also usable directly, without any agent in the loop:
+//
+//	net, _ := gridmind.LoadCase("case118")
+//	sol, _ := gridmind.SolveACOPF(net)
+//	fmt.Println(sol.ObjectiveCost)
+package gridmind
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"gridmind/internal/agents"
+	"gridmind/internal/cases"
+	"gridmind/internal/contingency"
+	"gridmind/internal/llm"
+	"gridmind/internal/metrics"
+	"gridmind/internal/model"
+	"gridmind/internal/opf"
+	"gridmind/internal/powerflow"
+	"gridmind/internal/session"
+	"gridmind/internal/simclock"
+)
+
+// Re-exported domain types. These aliases are the stable public surface;
+// the internal packages remain free to grow.
+type (
+	// Network is a complete power-system case.
+	Network = model.Network
+	// Summary is a case's component inventory (the paper's Table 2 row).
+	Summary = model.Summary
+	// ACOPFSolution is a solved optimal power flow (Appendix C schema).
+	ACOPFSolution = opf.Solution
+	// PowerFlowResult is a solved AC/DC power flow.
+	PowerFlowResult = powerflow.Result
+	// ContingencySet is a full N-1 sweep with ranking accessors.
+	ContingencySet = contingency.ResultSet
+	// OutageResult is one contingency's structured record.
+	OutageResult = contingency.OutageResult
+	// Exchange is a coordinated multi-agent reply.
+	Exchange = agents.Exchange
+	// Turn is one agent's structured interaction record.
+	Turn = agents.Turn
+	// Interaction is one instrumentation row.
+	Interaction = metrics.Interaction
+	// Quality is the solution-quality assessment schema.
+	Quality = opf.Quality
+)
+
+// Evaluated model names (the paper's §4 set).
+const (
+	ModelGPT5       = llm.ModelGPT5
+	ModelGPT5Mini   = llm.ModelGPT5Mini
+	ModelGPT5Nano   = llm.ModelGPT5Nano
+	ModelGPTO4Mini  = llm.ModelGPTO4Mini
+	ModelGPTO3      = llm.ModelGPTO3
+	ModelClaude4Son = llm.ModelClaude4Son
+)
+
+// Models lists the six evaluated model names.
+func Models() []string { return llm.ModelNames() }
+
+// CaseNames lists the supported IEEE cases.
+func CaseNames() []string { return cases.Names() }
+
+// LoadCase returns a fresh copy of a supported IEEE case ("case14",
+// "IEEE 118", "300", ...).
+func LoadCase(name string) (*Network, error) { return cases.Load(name) }
+
+// CaseSummaries returns the Table 2 inventory.
+func CaseSummaries() ([]Summary, error) { return cases.Summaries() }
+
+// SolveACOPF runs the primal-dual interior-point AC optimal power flow.
+func SolveACOPF(n *Network) (*ACOPFSolution, error) {
+	return opf.SolveACOPF(n, opf.Options{})
+}
+
+// SolveDCOPF runs the linearized DC optimal power flow baseline.
+func SolveDCOPF(n *Network) (*ACOPFSolution, error) {
+	return opf.SolveDCOPF(n, opf.Options{})
+}
+
+// SolvePowerFlow runs a Newton-Raphson AC power flow with reactive-limit
+// enforcement.
+func SolvePowerFlow(n *Network) (*PowerFlowResult, error) {
+	return powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
+}
+
+// AnalyzeContingencies runs a full parallel N-1 sweep from the given base
+// power flow.
+func AnalyzeContingencies(n *Network, base *PowerFlowResult) (*ContingencySet, error) {
+	return contingency.Analyze(n, base, contingency.Options{})
+}
+
+// AssessQuality scores a solution on the paper's 0-10 quality rubric.
+func AssessQuality(n *Network, sol *ACOPFSolution) Quality {
+	return opf.AssessQuality(n, sol)
+}
+
+// Options configures a GridMind conversational session.
+type Options struct {
+	// Model selects a simulated backend profile (default ModelGPTO3).
+	// Ignored when Endpoint is set.
+	Model string
+	// Endpoint, when non-empty, routes completions to a live
+	// chat-completions HTTP endpoint instead of the simulated backend.
+	Endpoint string
+	// Salt seeds the simulated backend's randomness (run index).
+	Salt int64
+	// RealLatency makes simulated backend latency elapse on the wall
+	// clock (off by default: latency is tracked on a virtual clock and
+	// reported, not slept).
+	RealLatency bool
+}
+
+// GridMind is a conversational session: planner, coordinator, the ACOPF
+// and contingency agents, their tools, and the shared context.
+type GridMind struct {
+	coord    *agents.Coordinator
+	recorder *metrics.Recorder
+	clock    simclock.Clock
+	start    time.Time
+}
+
+// New creates a session.
+func New(o Options) *GridMind {
+	var client llm.Client
+	if o.Endpoint != "" {
+		name := o.Model
+		if name == "" {
+			name = "remote"
+		}
+		client = &llm.HTTPClient{Endpoint: o.Endpoint, ModelName: name}
+	} else {
+		name := o.Model
+		if name == "" {
+			name = ModelGPTO3
+		}
+		profile, ok := llm.ProfileByName(name)
+		if !ok {
+			profile, _ = llm.ProfileByName(ModelGPTO3)
+			profile.Name = name
+		}
+		client = llm.NewSim(profile)
+	}
+	var clock simclock.Clock
+	absorb := false
+	if o.Endpoint == "" && !o.RealLatency {
+		clock = simclock.NewSim(time.Now())
+		absorb = true
+	} else {
+		clock = simclock.Real{}
+		absorb = o.RealLatency && o.Endpoint == ""
+	}
+	rec := metrics.NewRecorder()
+	coord := agents.NewCoordinator(agents.Config{
+		Client:        client,
+		Clock:         clock,
+		Recorder:      rec,
+		AbsorbLatency: absorb,
+		Salt:          o.Salt,
+	})
+	return &GridMind{coord: coord, recorder: rec, clock: clock, start: clock.Now()}
+}
+
+// Ask routes one natural-language request through the planner and agents.
+func (g *GridMind) Ask(ctx context.Context, query string) (*Exchange, error) {
+	return g.coord.Handle(ctx, query)
+}
+
+// Session exposes the shared context for artifact inspection.
+func (g *GridMind) Session() *session.Context { return g.coord.Session }
+
+// Metrics returns all recorded interactions.
+func (g *GridMind) Metrics() []Interaction { return g.recorder.Rows() }
+
+// WriteMetricsCSV dumps the instrumentation log.
+func (g *GridMind) WriteMetricsCSV(w io.Writer) error {
+	rec := g.recorder
+	return rec.WriteCSV(w)
+}
+
+// Workflow returns the accumulated multi-step workflow trace.
+func (g *GridMind) Workflow() []agents.WorkflowStep { return g.coord.Workflow() }
+
+// ElapsedSession returns total session time on the session clock
+// (simulated seconds for simulated backends).
+func (g *GridMind) ElapsedSession() time.Duration {
+	return g.clock.Now().Sub(g.start)
+}
+
+// PersistSession serializes the session state for later resumption.
+func (g *GridMind) PersistSession(w io.Writer) error {
+	return g.coord.Session.Persist(w)
+}
+
+// RestoreSession replaces the live session with a previously persisted
+// one (the §3.4 "seamless resumption"): the agents and tools are rebound
+// to the restored context.
+func (g *GridMind) RestoreSession(r io.Reader) error {
+	sess, err := session.Restore(r, g.clock.Now)
+	if err != nil {
+		return err
+	}
+	g.coord = agents.NewCoordinator(agents.Config{
+		Client:        g.coord.ACOPF.Client,
+		Clock:         g.clock,
+		Recorder:      g.recorder,
+		Session:       sess,
+		AbsorbLatency: g.coord.ACOPF.AbsorbLatency,
+		Salt:          g.coord.ACOPF.Salt,
+	})
+	return nil
+}
+
+// ValidateModel returns an error when the model name is not one of the
+// evaluated profiles.
+func ValidateModel(name string) error {
+	if _, ok := llm.ProfileByName(name); !ok {
+		return fmt.Errorf("gridmind: unknown model %q (supported: %v)", name, Models())
+	}
+	return nil
+}

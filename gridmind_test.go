@@ -1,0 +1,184 @@
+package gridmind_test
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gridmind"
+	"gridmind/internal/llm"
+)
+
+func TestPublicAPISolversDirect(t *testing.T) {
+	net, err := gridmind.LoadCase("case14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := gridmind.SolveACOPF(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Solved || sol.ObjectiveCost < 7900 || sol.ObjectiveCost > 8300 {
+		t.Fatalf("case14 OPF: solved=%t cost=%v", sol.Solved, sol.ObjectiveCost)
+	}
+	pf, err := gridmind.SolvePowerFlow(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pf.Converged {
+		t.Fatal("power flow did not converge")
+	}
+	q := gridmind.AssessQuality(net, sol)
+	if q.OverallScore <= 0 {
+		t.Fatalf("quality score %v", q.OverallScore)
+	}
+	dc, err := gridmind.SolveDCOPF(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.ObjectiveCost > sol.ObjectiveCost {
+		t.Fatalf("DC cost %v above AC cost %v", dc.ObjectiveCost, sol.ObjectiveCost)
+	}
+}
+
+func TestPublicAPIContingencies(t *testing.T) {
+	net, err := gridmind.LoadCase("case30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := gridmind.SolvePowerFlow(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := gridmind.AnalyzeContingencies(net, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Outages) != 41 {
+		t.Fatalf("outages %d", len(rs.Outages))
+	}
+}
+
+func TestPublicAPIConversation(t *testing.T) {
+	gm := gridmind.New(gridmind.Options{Model: gridmind.ModelGPT5Nano, Salt: 1})
+	ex, err := gm.Ask(context.Background(), "Solve IEEE 14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Success {
+		t.Fatalf("failed: %s", ex.Reply)
+	}
+	if gm.ElapsedSession() <= 0 {
+		t.Fatal("session clock did not advance")
+	}
+	if len(gm.Metrics()) != 1 {
+		t.Fatal("metrics not recorded")
+	}
+	var buf bytes.Buffer
+	if err := gm.WriteMetricsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), gridmind.ModelGPT5Nano) {
+		t.Fatal("CSV lacks model name")
+	}
+	var sess bytes.Buffer
+	if err := gm.PersistSession(&sess); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sess.String(), "case14") {
+		t.Fatal("persisted session lacks case")
+	}
+}
+
+func TestPublicAPIUnknownModelFallsBack(t *testing.T) {
+	if err := gridmind.ValidateModel("made-up"); err == nil {
+		t.Fatal("unknown model validated")
+	}
+	if err := gridmind.ValidateModel(gridmind.ModelGPT5); err != nil {
+		t.Fatal(err)
+	}
+	// New() with an unknown model still works (defaults profile, keeps name).
+	gm := gridmind.New(gridmind.Options{Model: "custom-model"})
+	ex, err := gm.Ask(context.Background(), "Solve IEEE 14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Turns[0].Model != "custom-model" {
+		t.Fatalf("model name %q", ex.Turns[0].Model)
+	}
+}
+
+func TestPublicAPIRemoteEndpoint(t *testing.T) {
+	// Full network path: simulated backend served over chat-completions,
+	// consumed through the HTTP client — the deployment mode for live
+	// LLM gateways.
+	profile, _ := llm.ProfileByName(gridmind.ModelGPTO3)
+	srv := httptest.NewServer(llm.Handler(llm.NewSim(profile)))
+	defer srv.Close()
+
+	gm := gridmind.New(gridmind.Options{Endpoint: srv.URL, Model: gridmind.ModelGPTO3})
+	ex, err := gm.Ask(context.Background(), "Solve IEEE 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Success {
+		t.Fatalf("remote-mode exchange failed: %s", ex.Reply)
+	}
+	if !strings.Contains(ex.Reply, "case30") {
+		t.Fatalf("reply %q", ex.Reply)
+	}
+}
+
+func TestSessionPersistRestoreAcrossInstances(t *testing.T) {
+	gm := gridmind.New(gridmind.Options{Model: gridmind.ModelGPTO3, Salt: 11})
+	ctx := context.Background()
+	if _, err := gm.Ask(ctx, "Solve IEEE 14"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gm.Ask(ctx, "Increase the load at bus 9 to 45 MW"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gm.PersistSession(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A brand-new instance resumes the session: same diffs, fresh
+	// artifact, and follow-up conversations continue from that state.
+	gm2 := gridmind.New(gridmind.Options{Model: gridmind.ModelGPTO3, Salt: 12})
+	if err := gm2.RestoreSession(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(gm2.Session().Diffs()) != 1 {
+		t.Fatalf("restored diffs %d, want 1", len(gm2.Session().Diffs()))
+	}
+	sol, fresh := gm2.Session().ACOPF()
+	if sol == nil || !fresh {
+		t.Fatal("restored artifact not fresh")
+	}
+	ex, err := gm2.Ask(ctx, "What is the current network status?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Success || !strings.Contains(ex.Reply, "1 modification") {
+		t.Fatalf("resumed conversation wrong: %q", ex.Reply)
+	}
+}
+
+func TestModelsAndCases(t *testing.T) {
+	if len(gridmind.Models()) != 6 {
+		t.Fatal("model list wrong")
+	}
+	if len(gridmind.CaseNames()) != 5 {
+		t.Fatal("case list wrong")
+	}
+	sums, err := gridmind.CaseSummaries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sums[0].Name != "case14" {
+		t.Fatalf("summaries %v", sums)
+	}
+}

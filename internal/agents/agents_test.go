@@ -1,0 +1,299 @@
+package agents
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"gridmind/internal/llm"
+	"gridmind/internal/metrics"
+	"gridmind/internal/simclock"
+)
+
+func newTestCoordinator(t *testing.T, model string, salt int64) (*Coordinator, *metrics.Recorder, *simclock.Sim) {
+	t.Helper()
+	profile, ok := llm.ProfileByName(model)
+	if !ok {
+		t.Fatalf("unknown profile %q", model)
+	}
+	clock := simclock.NewSim(time.Date(2025, 9, 2, 0, 0, 0, 0, time.UTC))
+	rec := metrics.NewRecorder()
+	return NewCoordinator(Config{
+		Client:        llm.NewSim(profile),
+		Clock:         clock,
+		Recorder:      rec,
+		AbsorbLatency: true,
+		Salt:          salt,
+	}), rec, clock
+}
+
+func TestSolveIEEE14EndToEnd(t *testing.T) {
+	c, rec, _ := newTestCoordinator(t, llm.ModelGPTO3, 1)
+	ex, err := c.Handle(context.Background(), "Solve IEEE 14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Success {
+		t.Fatalf("exchange failed: %q", ex.Reply)
+	}
+	if !strings.Contains(ex.Reply, "case14") {
+		t.Fatalf("reply does not mention the case: %q", ex.Reply)
+	}
+	if !strings.Contains(ex.Reply, "$") {
+		t.Fatalf("reply has no cost figure: %q", ex.Reply)
+	}
+	// The narrated cost must be near the MATPOWER reference (~8081).
+	if !strings.Contains(ex.Reply, "80") {
+		t.Fatalf("cost figure looks wrong: %q", ex.Reply)
+	}
+	if rec.Len() != 1 {
+		t.Fatalf("recorded %d interactions, want 1", rec.Len())
+	}
+	row := rec.Rows()[0]
+	if !row.Success || row.ToolCalls == 0 {
+		t.Fatalf("bad interaction record: %+v", row)
+	}
+	// Session must now hold a fresh solution.
+	sol, fresh := c.Session.ACOPF()
+	if sol == nil || !fresh || !sol.Solved {
+		t.Fatal("session does not hold a fresh ACOPF solution")
+	}
+}
+
+func TestWhatIfLoadIncrease(t *testing.T) {
+	c, _, _ := newTestCoordinator(t, llm.ModelGPTO3, 2)
+	ctx := context.Background()
+	if _, err := c.Handle(ctx, "Solve IEEE 14"); err != nil {
+		t.Fatal(err)
+	}
+	costBefore, _ := c.Session.ACOPF()
+	ex, err := c.Handle(ctx, "Increase the load at bus 9 to 50 MW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Success {
+		t.Fatalf("what-if failed: %q", ex.Reply)
+	}
+	costAfter, fresh := c.Session.ACOPF()
+	if !fresh {
+		t.Fatal("solution not fresh after modification")
+	}
+	// 29.5 → 50 MW at bus 9 must increase cost.
+	if costAfter.ObjectiveCost <= costBefore.ObjectiveCost {
+		t.Fatalf("cost did not increase: %v -> %v", costBefore.ObjectiveCost, costAfter.ObjectiveCost)
+	}
+	if len(c.Session.Diffs()) != 1 {
+		t.Fatalf("diff log has %d entries, want 1", len(c.Session.Diffs()))
+	}
+}
+
+func TestRelativeLoadChangeUsesStatusGrounding(t *testing.T) {
+	c, _, _ := newTestCoordinator(t, llm.ModelGPTO3, 3)
+	ctx := context.Background()
+	if _, err := c.Handle(ctx, "Solve IEEE 14"); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := c.Handle(ctx, "Increase the load at bus 9 by 10 MW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Success {
+		t.Fatalf("failed: %q", ex.Reply)
+	}
+	// The turn must have grounded the delta with get_network_status first.
+	var sawStatus, sawModify bool
+	for _, turn := range ex.Turns {
+		for _, s := range turn.Steps {
+			if s.Tool == "get_network_status" {
+				sawStatus = true
+			}
+			if s.Tool == "modify_bus_load" {
+				sawModify = true
+				if p, ok := s.Args["p_mw"].(float64); !ok || p < 39 || p > 40 {
+					t.Fatalf("modify target %v, want 39.5 (29.5 + 10)", s.Args["p_mw"])
+				}
+			}
+		}
+	}
+	if !sawStatus || !sawModify {
+		t.Fatal("expected status grounding followed by modification")
+	}
+}
+
+func TestContingencyAnalysisEndToEnd(t *testing.T) {
+	c, _, _ := newTestCoordinator(t, llm.ModelGPTO3, 4)
+	ex, err := c.Handle(context.Background(),
+		"What are the most critical contingencies in IEEE 30?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Success {
+		t.Fatalf("CA exchange failed: %q", ex.Reply)
+	}
+	if !strings.Contains(ex.Reply, "critical") {
+		t.Fatalf("reply: %q", ex.Reply)
+	}
+	rs, fresh := c.Session.CASweep()
+	if rs == nil || !fresh {
+		t.Fatal("session holds no fresh contingency sweep")
+	}
+	if len(rs.Outages) != 41 {
+		t.Fatalf("swept %d outages, want 41", len(rs.Outages))
+	}
+}
+
+func TestCrossDomainWorkflow(t *testing.T) {
+	// The Figure 9 flow: ACOPF first, then CA reusing shared context.
+	c, rec, _ := newTestCoordinator(t, llm.ModelClaude4Son, 5)
+	ex, err := c.Handle(context.Background(),
+		"Solve IEEE 30 case, then run contingency analysis and identify critical elements for reinforcement")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Success {
+		t.Fatalf("workflow failed: %q", ex.Reply)
+	}
+	if len(ex.Turns) < 2 {
+		t.Fatalf("expected >=2 agent turns, got %d", len(ex.Turns))
+	}
+	if ex.Turns[0].Agent != ACOPFAgentName || ex.Turns[1].Agent != CAAgentName {
+		t.Fatalf("wrong agent sequence: %s, %s", ex.Turns[0].Agent, ex.Turns[1].Agent)
+	}
+	// Both agents must have recorded interactions.
+	if rec.Len() < 2 {
+		t.Fatalf("recorded %d interactions", rec.Len())
+	}
+	// Workflow trace captured.
+	steps := c.Workflow()
+	if len(steps) < 2 || steps[0].Status != StepDone || steps[1].Status != StepDone {
+		t.Fatalf("workflow trace wrong: %+v", steps)
+	}
+	// Both solution artifacts live in the shared session.
+	if sol, _ := c.Session.ACOPF(); sol == nil {
+		t.Fatal("no ACOPF artifact")
+	}
+	if rs, _ := c.Session.CASweep(); rs == nil {
+		t.Fatal("no CA artifact")
+	}
+}
+
+func TestAllModelsSolve118Successfully(t *testing.T) {
+	// Figure 3 (left): every evaluated model achieves success on the
+	// case118 ACOPF query through function calling.
+	if testing.Short() {
+		t.Skip("full model sweep in short mode")
+	}
+	for _, name := range llm.ModelNames() {
+		c, _, _ := newTestCoordinator(t, name, 7)
+		ex, err := c.Handle(context.Background(), "Solve IEEE 118")
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !ex.Success {
+			t.Errorf("%s: failed: %q", name, ex.Reply)
+		}
+	}
+}
+
+func TestSimulatedLatencyIsPaperScale(t *testing.T) {
+	c, _, clock := newTestCoordinator(t, llm.ModelGPT5, 8)
+	start := clock.Now()
+	if _, err := c.Handle(context.Background(), "Solve IEEE 118"); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := clock.Elapsed(start)
+	// GPT-5 ACOPF turns sit in the upper half of Figure 3's distribution
+	// (tens of seconds), and must never be instant.
+	if elapsed < 20*time.Second || elapsed > 200*time.Second {
+		t.Fatalf("simulated turn latency %v outside the paper's scale", elapsed)
+	}
+}
+
+func TestUnknownCaseFailsGracefully(t *testing.T) {
+	c, rec, _ := newTestCoordinator(t, llm.ModelGPTO3, 9)
+	ex, err := c.Handle(context.Background(), "Solve IEEE 9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Success {
+		t.Fatalf("expected failure for unknown case: %q", ex.Reply)
+	}
+	if rec.Rows()[0].Success {
+		t.Fatal("metrics recorded success for a failed query")
+	}
+}
+
+func TestAuditRepairsFactualSlips(t *testing.T) {
+	toolData := []map[string]any{{"objective_cost": 8081.53}}
+	// Narration misquotes the cost by ~0.5%.
+	text := "Total generation cost is $8121.90/h for the case."
+	fixed, slips := auditNarration(text, toolData)
+	if slips != 1 {
+		t.Fatalf("slips = %d, want 1", slips)
+	}
+	if !strings.Contains(fixed, "$8081.53/h") {
+		t.Fatalf("not repaired: %q", fixed)
+	}
+	// Exact quotes pass untouched.
+	same, slips := auditNarration("Cost is $8081.53/h.", toolData)
+	if slips != 0 || !strings.Contains(same, "$8081.53/h") {
+		t.Fatal("verified quote was altered")
+	}
+	// Unrelated figures are left alone.
+	other, slips := auditNarration("Budget is $99999.00/h.", toolData)
+	if slips != 0 || !strings.Contains(other, "$99999.00/h") {
+		t.Fatal("unrelated figure was altered")
+	}
+}
+
+func TestPlannerSingleDomain(t *testing.T) {
+	plan := Plan("Solve IEEE 118")
+	if len(plan) != 1 || plan[0].Agent != ACOPFAgentName {
+		t.Fatalf("plan = %+v", plan)
+	}
+	plan = Plan("what's the most critical contingencies in this network")
+	if len(plan) != 1 || plan[0].Agent != CAAgentName {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestPlannerCrossDomain(t *testing.T) {
+	plan := Plan("Solve IEEE 118 case, then run contingency analysis and identify critical elements")
+	if len(plan) != 2 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan[0].Agent != ACOPFAgentName || plan[1].Agent != CAAgentName {
+		t.Fatalf("agents = %s, %s", plan[0].Agent, plan[1].Agent)
+	}
+	// Mixed single clause also splits.
+	plan = Plan("Solve IEEE 30 and identify critical contingencies")
+	if len(plan) != 2 || plan[1].Agent != CAAgentName {
+		t.Fatalf("mixed plan = %+v", plan)
+	}
+}
+
+func TestPlannerPropagatesCase(t *testing.T) {
+	plan := Plan("Solve IEEE 57, then run contingency analysis")
+	if len(plan) != 2 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if !strings.Contains(plan[1].Query, "case57") && !strings.Contains(strings.ToLower(plan[1].Query), "ieee 57") {
+		t.Fatalf("CA step lost case context: %q", plan[1].Query)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() string {
+		c, _, _ := newTestCoordinator(t, llm.ModelGPT5Nano, 42)
+		ex, err := c.Handle(context.Background(), "Solve IEEE 14")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ex.Reply
+	}
+	if run() != run() {
+		t.Fatal("same salt should reproduce the identical exchange")
+	}
+}

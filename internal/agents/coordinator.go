@@ -1,0 +1,175 @@
+package agents
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"gridmind/internal/llm"
+	"gridmind/internal/metrics"
+	"gridmind/internal/session"
+	"gridmind/internal/simclock"
+	"gridmind/internal/tools"
+)
+
+// WorkflowStatus tracks one planned step's lifecycle.
+type WorkflowStatus string
+
+// Workflow step states.
+const (
+	StepPending WorkflowStatus = "pending"
+	StepRunning WorkflowStatus = "running"
+	StepDone    WorkflowStatus = "done"
+	StepFailed  WorkflowStatus = "failed"
+)
+
+// WorkflowStep is one entry of the paper's WorkflowState: a planned
+// sub-task with its completion status.
+type WorkflowStep struct {
+	Seq        int            `json:"seq"`
+	Agent      string         `json:"agent"`
+	Query      string         `json:"query"`
+	Status     WorkflowStatus `json:"status"`
+	StartedAt  time.Time      `json:"started_at,omitempty"`
+	FinishedAt time.Time      `json:"finished_at,omitempty"`
+	Error      string         `json:"error,omitempty"`
+}
+
+// Exchange is the coordinator's merged outcome for one user request.
+type Exchange struct {
+	Query   string         `json:"query"`
+	Reply   string         `json:"reply"`
+	Turns   []*Turn        `json:"turns"`
+	Steps   []WorkflowStep `json:"workflow"`
+	Latency time.Duration  `json:"latency_ns"`
+	Success bool           `json:"success"`
+}
+
+// Coordinator owns the specialized agents and the shared session; it
+// plans, dispatches, and traces multi-step analyses (the paper's agent
+// coordinator + planner pair).
+type Coordinator struct {
+	ACOPF   *Agent
+	CA      *Agent
+	Session *session.Context
+	Clock   simclock.Clock
+
+	mu       sync.Mutex
+	workflow []WorkflowStep
+}
+
+// Config assembles a coordinator.
+type Config struct {
+	// Client is the LLM backend shared by both agents.
+	Client llm.Client
+	// Clock is the session time source (simulated in experiments).
+	Clock simclock.Clock
+	// Recorder receives per-turn instrumentation; may be nil.
+	Recorder *metrics.Recorder
+	// Session is the shared context; nil creates a fresh one.
+	Session *session.Context
+	// AbsorbLatency: see Agent.AbsorbLatency.
+	AbsorbLatency bool
+	// Salt: run index for seeded randomness.
+	Salt int64
+}
+
+// NewCoordinator wires the two domain agents over one shared session
+// context and tool registry.
+func NewCoordinator(cfg Config) *Coordinator {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	sess := cfg.Session
+	if sess == nil {
+		sess = session.New(clock.Now)
+	}
+	reg := tools.NewGridMind(sess)
+	// The §B.4 workflow extensions (sensitivity analysis, economic vs
+	// security-constrained comparison) register like any other tool.
+	if err := tools.RegisterExtensions(reg, sess); err != nil {
+		panic(err) // static registration; failure is a programming error
+	}
+	mk := func(name, prompt string, toolNames []string) *Agent {
+		return &Agent{
+			Name:          name,
+			SystemPrompt:  prompt,
+			Client:        cfg.Client,
+			Registry:      reg,
+			ToolNames:     toolNames,
+			Clock:         clock,
+			Recorder:      cfg.Recorder,
+			AbsorbLatency: cfg.AbsorbLatency,
+			Salt:          cfg.Salt,
+		}
+	}
+	return &Coordinator{
+		ACOPF:   mk(ACOPFAgentName, ACOPFSystemPrompt, tools.ExtendedACOPFToolNames()),
+		CA:      mk(CAAgentName, CASystemPrompt, tools.ExtendedCAToolNames()),
+		Session: sess,
+		Clock:   clock,
+	}
+}
+
+// Handle plans a request, runs the assigned agents sequentially over the
+// shared context, and merges their narrations.
+func (c *Coordinator) Handle(ctx context.Context, query string) (*Exchange, error) {
+	plan := Plan(query)
+	ex := &Exchange{Query: query, Success: true}
+	started := c.Clock.Now()
+
+	steps := make([]WorkflowStep, len(plan))
+	for i, as := range plan {
+		steps[i] = WorkflowStep{Seq: i + 1, Agent: as.Agent, Query: as.Query, Status: StepPending}
+	}
+	var replies []string
+	for i, as := range plan {
+		steps[i].Status = StepRunning
+		steps[i].StartedAt = c.Clock.Now()
+		agent := c.ACOPF
+		if as.Agent == CAAgentName {
+			agent = c.CA
+		}
+		turn, err := agent.Run(ctx, as.Query)
+		ex.Turns = append(ex.Turns, turn)
+		steps[i].FinishedAt = c.Clock.Now()
+		if err != nil {
+			steps[i].Status = StepFailed
+			steps[i].Error = err.Error()
+			ex.Success = false
+			replies = append(replies, fmt.Sprintf("[%s agent] failed: %v", as.Agent, err))
+			// Later steps usually depend on earlier state; stop here, as
+			// the paper's coordinator surfaces the failure for the user
+			// to decide.
+			break
+		}
+		steps[i].Status = StepDone
+		if !turn.Success {
+			ex.Success = false
+		}
+		prefix := ""
+		if len(plan) > 1 {
+			prefix = fmt.Sprintf("[%s agent] ", as.Agent)
+		}
+		replies = append(replies, prefix+turn.Reply)
+	}
+	ex.Steps = steps
+	ex.Reply = strings.Join(replies, "\n\n")
+	ex.Latency = c.Clock.Now().Sub(started)
+
+	c.mu.Lock()
+	c.workflow = append(c.workflow, steps...)
+	c.mu.Unlock()
+	c.Session.AddProvenance("coordinator", fmt.Sprintf("handled %q via %d step(s)", query, len(plan)))
+	return ex, nil
+}
+
+// Workflow returns the accumulated workflow trace.
+func (c *Coordinator) Workflow() []WorkflowStep {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]WorkflowStep(nil), c.workflow...)
+}

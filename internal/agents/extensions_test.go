@@ -1,0 +1,112 @@
+package agents
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"gridmind/internal/llm"
+)
+
+func TestSensitivityThroughConversation(t *testing.T) {
+	c, _, _ := newTestCoordinator(t, llm.ModelGPTO3, 21)
+	ctx := context.Background()
+	if _, err := c.Handle(ctx, "Solve IEEE 14"); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := c.Handle(ctx, "Run a load sensitivity analysis on the marginal prices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Success {
+		t.Fatalf("sensitivity exchange failed: %q", ex.Reply)
+	}
+	if !strings.Contains(ex.Reply, "$/MWh") {
+		t.Fatalf("reply lacks marginal costs: %q", ex.Reply)
+	}
+	if !strings.Contains(ex.Reply, "agree with exact re-solves") {
+		t.Fatalf("reply lacks the consistency statement: %q", ex.Reply)
+	}
+}
+
+func TestCompareThroughConversation(t *testing.T) {
+	c, _, _ := newTestCoordinator(t, llm.ModelGPT5Mini, 22)
+	ex, err := c.Handle(context.Background(),
+		"Compare economic versus security-constrained operation for IEEE 57")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Success {
+		t.Fatalf("compare exchange failed: %q", ex.Reply)
+	}
+	for _, want := range []string{"security premium", "unconstrained dispatch costs"} {
+		if !strings.Contains(ex.Reply, want) {
+			t.Fatalf("reply lacks %q: %q", want, ex.Reply)
+		}
+	}
+}
+
+func TestGenOutageThroughConversation(t *testing.T) {
+	c, _, _ := newTestCoordinator(t, llm.ModelGPTO3, 23)
+	ctx := context.Background()
+	if _, err := c.Handle(ctx, "Solve IEEE 30"); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := c.Handle(ctx, "Analyze the reliability impact of losing the generator at bus 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Success {
+		t.Fatalf("gen outage exchange failed: %q", ex.Reply)
+	}
+	if !strings.Contains(ex.Reply, "unit at bus 2") {
+		t.Fatalf("reply: %q", ex.Reply)
+	}
+	// The CA agent handled it (routing by contingency vocabulary).
+	if ex.Turns[0].Agent != CAAgentName {
+		t.Fatalf("routed to %s", ex.Turns[0].Agent)
+	}
+}
+
+func TestQualityAssessmentThroughConversation(t *testing.T) {
+	c, _, _ := newTestCoordinator(t, llm.ModelGPTO3, 25)
+	ex, err := c.Handle(context.Background(), "Solve IEEE 30 and assess the solution quality")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Success {
+		t.Fatalf("quality exchange failed: %q", ex.Reply)
+	}
+	if !strings.Contains(ex.Reply, "/10 overall") {
+		t.Fatalf("reply lacks the quality rubric: %q", ex.Reply)
+	}
+}
+
+func TestSensitivityWithExplicitBusAndDelta(t *testing.T) {
+	c, _, _ := newTestCoordinator(t, llm.ModelGPTO3, 24)
+	ctx := context.Background()
+	if _, err := c.Handle(ctx, "Solve IEEE 14"); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := c.Handle(ctx, "What is the sensitivity if we increase the load at bus 9 by 5 MW?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Success {
+		t.Fatalf("failed: %q", ex.Reply)
+	}
+	var sawProbe bool
+	for _, turn := range ex.Turns {
+		for _, s := range turn.Steps {
+			if s.Tool == "analyze_load_sensitivity" {
+				sawProbe = true
+				if buses, ok := s.Args["buses"].([]any); !ok || len(buses) != 1 {
+					t.Fatalf("probe args %v", s.Args)
+				}
+			}
+		}
+	}
+	if !sawProbe {
+		t.Fatal("sensitivity tool not invoked")
+	}
+}

@@ -1,0 +1,109 @@
+package cases
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gridmind/internal/powerflow"
+)
+
+func TestSyntheticUnsupportedSize(t *testing.T) {
+	if _, err := Synthetic(42); err == nil {
+		t.Fatal("unsupported size accepted")
+	}
+}
+
+func TestSyntheticVoltageFloor(t *testing.T) {
+	// The generator contract: shipped operating points keep voltages
+	// comfortably above the 0.94 p.u. CA threshold so post-contingency
+	// excursions are meaningful events.
+	for _, name := range []string{"case57", "case118", "case300"} {
+		n := MustLoad(name)
+		res, err := powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.MinVm <= 0.955 {
+			t.Errorf("%s: base voltage floor %.4f too close to the violation threshold", name, res.MinVm)
+		}
+		if res.MaxVm >= 1.09 {
+			t.Errorf("%s: base voltage ceiling %.4f implausible", name, res.MaxVm)
+		}
+	}
+}
+
+func TestSyntheticMeshedTopology(t *testing.T) {
+	// Grid-like meshing: branches exceed the spanning tree by the chord
+	// count implied by Table 2, and degree stays physical (no hub with
+	// half the system attached).
+	for _, name := range []string{"case57", "case118", "case300"} {
+		n := MustLoad(name)
+		if len(n.Branches) < len(n.Buses) {
+			t.Errorf("%s: fewer branches than a spanning tree", name)
+		}
+		degree := make([]int, len(n.Buses))
+		for _, b := range n.Branches {
+			degree[b.From]++
+			degree[b.To]++
+		}
+		maxDeg := 0
+		for _, d := range degree {
+			if d > maxDeg {
+				maxDeg = d
+			}
+			if d == 0 {
+				t.Errorf("%s: isolated bus", name)
+			}
+		}
+		if maxDeg > len(n.Buses)/2 {
+			t.Errorf("%s: hub bus with degree %d", name, maxDeg)
+		}
+	}
+}
+
+func TestSyntheticCostCurvesOrdered(t *testing.T) {
+	// Merit order must exist: marginal costs at mid-dispatch span a
+	// meaningful range so the OPF has real decisions to make.
+	n := MustLoad("case118")
+	minM, maxM := math.Inf(1), math.Inf(-1)
+	for _, g := range n.Gens {
+		m := g.Cost.Marginal(g.PMax / 2)
+		minM = math.Min(minM, m)
+		maxM = math.Max(maxM, m)
+	}
+	if maxM-minM < 5 {
+		t.Fatalf("marginal cost spread %.2f too flat for meaningful dispatch", maxM-minM)
+	}
+}
+
+// Property: every accepted synthetic case satisfies the structural
+// invariants regardless of which case is drawn.
+func TestSyntheticInvariantsProperty(t *testing.T) {
+	sizes := []int{57, 118, 300}
+	f := func(pick uint8) bool {
+		n, err := Synthetic(sizes[int(pick)%len(sizes)])
+		if err != nil {
+			return false
+		}
+		if err := n.Validate(); err != nil {
+			return false
+		}
+		// Ratings everywhere, all positive.
+		for _, b := range n.Branches {
+			if b.RateMVA <= 0 {
+				return false
+			}
+		}
+		// Slack machine exists and is the largest-capable reference.
+		if n.SlackBus() != 0 {
+			return false
+		}
+		return n.TotalGenCapacity() > 1.2*firstOf(n.TotalLoad())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 9}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func firstOf(p, _ float64) float64 { return p }

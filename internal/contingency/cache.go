@@ -1,0 +1,72 @@
+package contingency
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Cache stores per-outage results under composite keys so repeated
+// analyses of an unchanged network state are served without re-solving —
+// the §3.4 "cached under a composite key (case + outage + diff hash)"
+// behaviour. It is safe for concurrent use by sweep workers.
+type Cache struct {
+	mu      sync.RWMutex
+	entries map[string]*OutageResult
+	hits    int
+	misses  int
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]*OutageResult)}
+}
+
+// Key builds the composite cache key from the session's state prefix
+// (typically the diff-log hash), the case name and the outage branch.
+func Key(prefix, caseName string, branch int) string {
+	return fmt.Sprintf("%s|%s|br%d", prefix, caseName, branch)
+}
+
+// Get returns a copy of the cached result, if present.
+func (c *Cache) Get(key string) (*OutageResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	cp := *r
+	return &cp, true
+}
+
+// Put stores a copy of the result.
+func (c *Cache) Put(key string, r *OutageResult) {
+	cp := *r
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = &cp
+}
+
+// Len returns the number of cached outages.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Stats returns cumulative hit/miss counts.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits, c.misses
+}
+
+// Invalidate drops every entry (the session calls this when the diff log
+// changes the network state).
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*OutageResult)
+}

@@ -1,0 +1,143 @@
+package contingency
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gridmind/internal/cases"
+)
+
+func TestGenOutageRedistributesDispatch(t *testing.T) {
+	n := cases.MustLoad("case118")
+	// Find a meaningful non-slack unit.
+	pick := -1
+	for g, gen := range n.Gens {
+		if gen.InService && gen.Bus != n.SlackBus() && gen.P > 20 {
+			pick = g
+			break
+		}
+	}
+	if pick < 0 {
+		t.Skip("no suitable unit")
+	}
+	out, err := AnalyzeGenOutage(n, pick, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged {
+		t.Fatalf("post-outage power flow failed: %+v", out)
+	}
+	if out.LostMW != n.Gens[pick].P {
+		t.Fatalf("lost MW %v, want %v", out.LostMW, n.Gens[pick].P)
+	}
+	// Fleet has 50% margin: no reserve deficit for one unit.
+	if out.ReserveDeficitMW != 0 {
+		t.Fatalf("unexpected reserve deficit %v", out.ReserveDeficitMW)
+	}
+	if out.MinVoltagePU <= 0 || out.MaxLoadingPct <= 0 {
+		t.Fatalf("missing post-outage metrics: %+v", out)
+	}
+}
+
+func TestGenOutageReserveDeficit(t *testing.T) {
+	n := cases.MustLoad("case14")
+	// Cripple the fleet so losing the big unit exceeds remaining headroom.
+	for g := range n.Gens {
+		if n.Gens[g].Bus != 0 {
+			n.Gens[g].PMax = n.Gens[g].P + 1
+		}
+	}
+	// The slack unit (bus index 0) carries 232.4 MW; remaining headroom
+	// is ~4 MW. But the slack machine is irreplaceable — outage rejected.
+	if _, err := AnalyzeGenOutage(n, 0, Options{}); err == nil {
+		t.Fatal("slack machine outage must be rejected")
+	}
+	// Take out unit 1 (bus 2, 40 MW) instead with capped fleet: headroom
+	// = slack only.
+	n2 := cases.MustLoad("case14")
+	for g := range n2.Gens {
+		if g != 1 {
+			n2.Gens[g].PMax = n2.Gens[g].P + 5
+		}
+	}
+	out, err := AnalyzeGenOutage(n2, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ReserveDeficitMW <= 0 {
+		t.Fatalf("expected reserve deficit, got %v", out.ReserveDeficitMW)
+	}
+	if out.Severity < out.ReserveDeficitMW {
+		t.Fatal("severity must include the deficit")
+	}
+}
+
+func TestGenOutageErrors(t *testing.T) {
+	n := cases.MustLoad("case14")
+	if _, err := AnalyzeGenOutage(n, -1, Options{}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := AnalyzeGenOutage(n, 99, Options{}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	n.Gens[1].InService = false
+	if _, err := AnalyzeGenOutage(n, 1, Options{}); err == nil {
+		t.Fatal("already-out unit accepted")
+	}
+}
+
+func TestGenOutageSweep(t *testing.T) {
+	n := cases.MustLoad("case57")
+	out, err := AnalyzeGenOutages(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slack machine is excluded; everything else analyzed.
+	if len(out) != 6 {
+		t.Fatalf("analyzed %d gen outages, want 6 of 7 (slack excluded)", len(out))
+	}
+	for _, o := range out {
+		if !o.Converged && o.Severity == 0 {
+			t.Fatalf("unconverged outage with zero severity: %+v", o)
+		}
+	}
+}
+
+func TestGenOutageDescribe(t *testing.T) {
+	cases := []struct {
+		o    GenOutageResult
+		want string
+	}{
+		{GenOutageResult{ReserveDeficitMW: 5, LostMW: 100, BusID: 3}, "reserve"},
+		{GenOutageResult{Converged: false, LostMW: 50, BusID: 2}, "collapse"},
+		{GenOutageResult{Converged: true, LostMW: 50, BusID: 2, MaxLoadingPct: 120,
+			Overloads: []BranchLoading{{LoadingPct: 120}}}, "overload"},
+		{GenOutageResult{Converged: true, LostMW: 50, BusID: 2, MaxLoadingPct: 70}, "secure"},
+	}
+	for _, tc := range cases {
+		if got := tc.o.Describe(); !strings.Contains(got, tc.want) {
+			t.Errorf("Describe() = %q, want substring %q", got, tc.want)
+		}
+	}
+}
+
+func TestGenOutageEnergyBalance(t *testing.T) {
+	// After governor pickup, total dispatch must still cover demand.
+	n := cases.MustLoad("case30")
+	out, err := AnalyzeGenOutage(n, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged {
+		t.Fatal("not converged")
+	}
+	// The lost 40 MW unit must be replaced (no deficit on case30), and
+	// the post-outage state stays physical.
+	if out.ReserveDeficitMW != 0 {
+		t.Fatalf("deficit %v", out.ReserveDeficitMW)
+	}
+	if math.Abs(out.MinVoltagePU-1) > 0.2 {
+		t.Fatalf("implausible post-outage voltage floor %v", out.MinVoltagePU)
+	}
+}

@@ -1,0 +1,95 @@
+package contingency
+
+import (
+	"strings"
+	"testing"
+
+	"gridmind/internal/cases"
+)
+
+func TestRecommendFromSweep(t *testing.T) {
+	n := cases.MustLoad("case118")
+	base := solveBase(t, n)
+	rs, err := Analyze(n, base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := rs.Recommend(10)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations from an insecure case")
+	}
+	if len(recs) > 10 {
+		t.Fatalf("limit ignored: %d", len(recs))
+	}
+	// Ordered by score.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Score > recs[i-1].Score {
+			t.Fatal("recommendations not sorted by score")
+		}
+	}
+	// Every recommendation carries evidence and a rationale.
+	for _, r := range recs {
+		if r.Evidence == 0 || r.Rationale == "" {
+			t.Fatalf("recommendation lacks audit trail: %+v", r)
+		}
+		switch r.Kind {
+		case ReinforceCapacity, RemedialSwitching:
+			if r.Rationale == "" || !strings.Contains(r.Rationale, "branch") {
+				t.Fatalf("thermal recommendation rationale: %q", r.Rationale)
+			}
+		case ReactiveSupport:
+			if !strings.Contains(r.Rationale, "voltage") {
+				t.Fatalf("voltage recommendation rationale: %q", r.Rationale)
+			}
+		default:
+			t.Fatalf("unknown kind %q", r.Kind)
+		}
+	}
+}
+
+func TestRecommendClassification(t *testing.T) {
+	// Recurrent moderate overloads → reinforcement; rare severe → switching.
+	rs := &ResultSet{Outages: []OutageResult{
+		{Converged: true, Overloads: []BranchLoading{{Branch: 1, LoadingPct: 108, FromBusID: 1, ToBusID: 2}}},
+		{Converged: true, Overloads: []BranchLoading{{Branch: 1, LoadingPct: 106, FromBusID: 1, ToBusID: 2}}},
+		{Converged: true, Overloads: []BranchLoading{{Branch: 1, LoadingPct: 111, FromBusID: 1, ToBusID: 2}}},
+		{Converged: true, Overloads: []BranchLoading{{Branch: 7, LoadingPct: 170, FromBusID: 5, ToBusID: 6}}},
+	}}
+	recs := rs.Recommend(0)
+	var kinds = map[int]RecommendationKind{}
+	for _, r := range recs {
+		if r.Branch != 0 {
+			kinds[r.Branch] = r.Kind
+		}
+	}
+	if kinds[1] != ReinforceCapacity {
+		t.Fatalf("branch 1 classified %q, want reinforcement", kinds[1])
+	}
+	if kinds[7] != RemedialSwitching {
+		t.Fatalf("branch 7 classified %q, want switching", kinds[7])
+	}
+}
+
+func TestRecommendVoltage(t *testing.T) {
+	rs := &ResultSet{Outages: []OutageResult{
+		{Converged: true, VoltViols: []VoltageViolation{{BusID: 30, VmPU: 0.92, Limit: 0.94, Low: true}}},
+		{Converged: true, VoltViols: []VoltageViolation{{BusID: 30, VmPU: 0.93, Limit: 0.94, Low: true}}},
+		// High-voltage violations do not produce reactive-support advice.
+		{Converged: true, VoltViols: []VoltageViolation{{BusID: 9, VmPU: 1.08, Limit: 1.06, Low: false}}},
+	}}
+	recs := rs.Recommend(0)
+	if len(recs) != 1 {
+		t.Fatalf("recommendations %d, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Kind != ReactiveSupport || r.BusID != 30 || r.Evidence != 2 {
+		t.Fatalf("recommendation %+v", r)
+	}
+}
+
+func TestRecommendEmptySweep(t *testing.T) {
+	rs := &ResultSet{}
+	if recs := rs.Recommend(5); len(recs) != 0 {
+		t.Fatalf("secure sweep produced %d recommendations", len(recs))
+	}
+}

@@ -1,0 +1,301 @@
+package contingency
+
+import (
+	"math"
+
+	"gridmind/internal/model"
+	"gridmind/internal/powerflow"
+	"gridmind/internal/ptdf"
+	"gridmind/internal/sparse"
+)
+
+// screener implements two-stage linear contingency screening, the classic
+// production-CA structure [Ejebe & Wollenberg]:
+//
+//   - thermal: active flows shifted by LODFs on top of the AC base point,
+//     reactive flows carried over, per-branch MVA loading checked against
+//     the threshold (with an allowance for branches the outage does not
+//     move);
+//   - voltage ("1Q" screening): the post-outage voltage sag is estimated
+//     from the fast-decoupled Q-V equation B”·ΔV = ΔQ/V, where the
+//     removal of the branch is applied to the factorized base B” as a
+//     Woodbury rank-2 update, so each candidate costs two triangular
+//     solves instead of a refactorization.
+//
+// An outage passing both stages is certified secure without a full AC
+// solve; anything else falls through to the exact path.
+type screener struct {
+	factors *ptdf.Matrix
+	preP    []float64 // AC base active flow per branch (from end, MW)
+	preQ    []float64 // AC base reactive flow per branch (from end, MVAr)
+	preQTo  []float64 // AC base reactive flow entering at the to end (MVAr)
+	basePct []float64 // AC base loading percentage per branch
+	baseVm  []float64
+
+	// Q-V screening state.
+	y     *model.Ybus
+	luBpp *sparse.LU
+	pqPos []int // bus -> position in the PQ block, -1 otherwise
+	pqBus []int // position -> bus
+	// baseSecure reports whether the base case itself satisfies the
+	// violation thresholds; screening certifies nothing otherwise.
+	baseSecure bool
+}
+
+// loadingAllowancePct is the per-branch tolerance of the thermal rule: a
+// branch counts as unaffected when its predicted loading stays within
+// this many percentage points of its base-case loading.
+const loadingAllowancePct = 2.0
+
+// voltScreenMarginPU is the required margin of the estimated post-outage
+// voltage floor above the violation threshold.
+const voltScreenMarginPU = 0.005
+
+func newScreener(n *model.Network, base *powerflow.Result, opts Options) (*screener, error) {
+	m, err := ptdf.Build(n)
+	if err != nil {
+		return nil, err
+	}
+	s := &screener{
+		factors: m,
+		preP:    make([]float64, len(n.Branches)),
+		preQ:    make([]float64, len(n.Branches)),
+		preQTo:  make([]float64, len(n.Branches)),
+		basePct: make([]float64, len(n.Branches)),
+		baseVm:  append([]float64(nil), base.Voltages.Vm...),
+	}
+	s.baseSecure = base.MinVm >= opts.VoltLow && base.MaxVm <= opts.VoltHigh
+	for k := range n.Branches {
+		s.preP[k] = base.Flows[k].FromP
+		s.preQ[k] = base.Flows[k].FromQ
+		s.preQTo[k] = base.Flows[k].ToQ
+		s.basePct[k] = base.Flows[k].LoadingPct
+		if s.basePct[k] > opts.OverloadPct {
+			s.baseSecure = false
+		}
+	}
+	if !s.baseSecure {
+		return s, nil // screener disabled; trySecure rejects everything
+	}
+
+	// Assemble and factorize the base B'' (−Im(Ybus) over PQ buses).
+	s.y = model.BuildYbus(n)
+	hasGen := make([]bool, len(n.Buses))
+	for _, g := range n.Gens {
+		if g.InService {
+			hasGen[g.Bus] = true
+		}
+	}
+	s.pqPos = make([]int, len(n.Buses))
+	for i, b := range n.Buses {
+		s.pqPos[i] = -1
+		if b.Type == model.Slack || (b.Type == model.PV && hasGen[i]) {
+			continue
+		}
+		s.pqPos[i] = len(s.pqBus)
+		s.pqBus = append(s.pqBus, i)
+	}
+	if len(s.pqBus) == 0 {
+		return s, nil
+	}
+	bpp := sparse.NewCOO(len(s.pqBus), len(s.pqBus))
+	for _, nz := range s.y.NZ {
+		i, j := nz[0], nz[1]
+		if s.pqPos[i] >= 0 && s.pqPos[j] >= 0 {
+			bpp.Add(s.pqPos[i], s.pqPos[j], -imag(s.y.At(i, j)))
+		}
+	}
+	if s.luBpp, err = sparse.Factorize(bpp.ToCSC(), sparse.Options{}); err != nil {
+		s.baseSecure = false // cannot voltage-screen; disable
+	}
+	return s, nil
+}
+
+// trySecure returns a screened-secure result when both linear stages say
+// the outage cannot approach any limit; ok=false sends the outage to the
+// full AC path.
+func (s *screener) trySecure(n *model.Network, k int, opts Options) (*OutageResult, bool) {
+	if !s.baseSecure {
+		return nil, false
+	}
+	flows, err := s.factors.PostOutageFlows(s.preP, k)
+	if err != nil {
+		return nil, false // islanding or numerical trouble: full analysis
+	}
+	// Thermal stage: per-branch rule with the unaffected allowance.
+	var worst float64
+	for b, br := range n.Branches {
+		if !br.InService || br.RateMVA <= 0 || b == k {
+			continue
+		}
+		pct := 100 * math.Hypot(flows[b], s.preQ[b]) / br.RateMVA
+		if pct > worst {
+			worst = pct
+		}
+		if pct >= opts.ScreenThreshold && pct > s.basePct[b]+loadingAllowancePct {
+			return nil, false
+		}
+	}
+	// Voltage stage: estimated post-outage floor must clear the
+	// threshold with margin.
+	estMin, ok := s.estimateVoltageFloor(n, k)
+	if !ok || estMin < opts.VoltLow+voltScreenMarginPU {
+		return nil, false
+	}
+
+	br := n.Branches[k]
+	out := &OutageResult{
+		Branch:        k,
+		FromBusID:     n.Buses[br.From].ID,
+		ToBusID:       n.Buses[br.To].ID,
+		IsXfmr:        br.IsTransformer,
+		Converged:     true,
+		MaxLoadingPct: worst,
+		MinVoltagePU:  estMin,
+		Algorithm:     "lodf-1q-screened",
+	}
+	out.Severity = severity(out, opts)
+	return out, true
+}
+
+// estimateVoltageFloor solves the fast-decoupled Q-V equation with the
+// branch removed via a Woodbury update of the factorized base B”. It
+// returns the estimated minimum post-outage voltage and whether the
+// estimate is trustworthy.
+func (s *screener) estimateVoltageFloor(n *model.Network, k int) (float64, bool) {
+	if s.luBpp == nil || len(s.pqBus) == 0 {
+		return 0, false
+	}
+	br := n.Branches[k]
+	f, t := s.pqPos[br.From], s.pqPos[br.To]
+
+	// ΔQ: removing the branch frees the reactive power it absorbed at
+	// each (PQ) endpoint; the mismatch pushes the Q-V equation.
+	npq := len(s.pqBus)
+	dq := make([]float64, npq)
+	if f >= 0 {
+		dq[f] = -s.preQ[k] / n.BaseMVA / math.Max(s.baseVm[br.From], 0.5)
+	}
+	if t >= 0 {
+		dq[t] = -s.preQTo[k] / n.BaseMVA / math.Max(s.baseVm[br.To], 0.5)
+	}
+
+	// Base solve.
+	x0, err := s.luBpp.Solve(dq)
+	if err != nil {
+		return 0, false
+	}
+
+	// Woodbury correction for B''_post = B'' − U·S·Uᵀ where S holds the
+	// removed branch's contributions at the PQ endpoints.
+	cols := make([]int, 0, 2)
+	if f >= 0 {
+		cols = append(cols, f)
+	}
+	if t >= 0 {
+		cols = append(cols, t)
+	}
+	dv := x0
+	if len(cols) > 0 {
+		// S entries: ΔB''[a][b] = −Im(removed Y block).
+		entry := func(a, b int) float64 {
+			switch {
+			case a == f && b == f:
+				return -imag(s.y.Yff[k])
+			case a == f && b == t:
+				return -imag(s.y.Yft[k])
+			case a == t && b == f:
+				return -imag(s.y.Ytf[k])
+			default:
+				return -imag(s.y.Ytt[k])
+			}
+		}
+		m := len(cols)
+		// Solve B''·u_j = e_cols[j].
+		us := make([][]float64, m)
+		for j, c := range cols {
+			e := make([]float64, npq)
+			e[c] = 1
+			u, err := s.luBpp.Solve(e)
+			if err != nil {
+				return 0, false
+			}
+			us[j] = u
+		}
+		// Capacitance C = S⁻¹ − Uᵀ B''⁻¹ U (m×m, m ≤ 2).
+		var sMat [2][2]float64
+		for a := 0; a < m; a++ {
+			for b := 0; b < m; b++ {
+				sMat[a][b] = entry(cols[a], cols[b])
+			}
+		}
+		sInv, ok := inv2(sMat, m)
+		if !ok {
+			return 0, false
+		}
+		var c [2][2]float64
+		for a := 0; a < m; a++ {
+			for b := 0; b < m; b++ {
+				c[a][b] = sInv[a][b] - us[b][cols[a]]
+			}
+		}
+		cInv, ok := inv2(c, m)
+		if !ok {
+			return 0, false // singular: outage is radial in the Q network
+		}
+		// dv = x0 + U_sol · C⁻¹ · (Uᵀ x0) with U_sol[j] = B''⁻¹ e_j.
+		var w [2]float64
+		for a := 0; a < m; a++ {
+			w[a] = x0[cols[a]]
+		}
+		for i := 0; i < npq; i++ {
+			var corr float64
+			for a := 0; a < m; a++ {
+				for b := 0; b < m; b++ {
+					corr += us[a][i] * cInv[a][b] * w[b]
+				}
+			}
+			dv[i] = x0[i] + corr
+		}
+	}
+
+	est := math.Inf(1)
+	for p, bus := range s.pqBus {
+		v := s.baseVm[bus] + dv[p]
+		if v < est {
+			est = v
+		}
+	}
+	// Non-PQ buses hold their setpoints.
+	for i := range n.Buses {
+		if s.pqPos[i] < 0 && s.baseVm[i] < est {
+			est = s.baseVm[i]
+		}
+	}
+	return est, true
+}
+
+// inv2 inverts an m×m (m ≤ 2) matrix stored in a fixed array.
+func inv2(a [2][2]float64, m int) ([2][2]float64, bool) {
+	var out [2][2]float64
+	switch m {
+	case 1:
+		if math.Abs(a[0][0]) < 1e-12 {
+			return out, false
+		}
+		out[0][0] = 1 / a[0][0]
+		return out, true
+	case 2:
+		det := a[0][0]*a[1][1] - a[0][1]*a[1][0]
+		if math.Abs(det) < 1e-12 {
+			return out, false
+		}
+		out[0][0] = a[1][1] / det
+		out[1][1] = a[0][0] / det
+		out[0][1] = -a[0][1] / det
+		out[1][0] = -a[1][0] / det
+		return out, true
+	default:
+		return out, false
+	}
+}

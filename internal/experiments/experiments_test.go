@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"gridmind/internal/llm"
+)
+
+// Small configurations keep the unit tests quick; cmd/gridmind-bench runs
+// the full paper-scale configurations.
+func smallCfg() Config {
+	return Config{
+		Models: []string{llm.ModelGPTO3, llm.ModelGPT5Mini},
+		Runs:   2,
+		Case:   "case30",
+		Cases:  []string{"case14", "case30"},
+	}
+}
+
+func TestFigure3SuccessAllPass(t *testing.T) {
+	rows, err := Figure3Success(context.Background(), smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SuccessRate != 100 {
+			t.Errorf("%s success %.1f%%, paper reports 100%%", r.Model, r.SuccessRate)
+		}
+	}
+}
+
+func TestFigure3DistributionShape(t *testing.T) {
+	rows, err := Figure3Distribution(context.Background(), smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !(r.Min <= r.Q1 && r.Q1 <= r.Median && r.Median <= r.Q3 && r.Q3 <= r.Max) {
+			t.Errorf("%s: quartiles not ordered: %+v", r.Model, r)
+		}
+		if r.Min <= 0 {
+			t.Errorf("%s: non-positive latency", r.Model)
+		}
+	}
+}
+
+func TestFigure3ScalingProducesAllCells(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Runs = 1
+	pts, err := Figure3Scaling(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(cfg.Models)*len(cfg.Cases) {
+		t.Fatalf("points %d, want %d", len(pts), len(cfg.Models)*len(cfg.Cases))
+	}
+	for _, p := range pts {
+		if p.MeanS <= 0 {
+			t.Errorf("cell %s/%s has non-positive time", p.Model, p.Case)
+		}
+	}
+}
+
+func TestTable1ShapeOnCase118(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full case118 CA sweep in short mode")
+	}
+	cfg := Config{Runs: 1, Case: "case118"} // all six models
+	rows, err := Table1(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows %d, want 6", len(rows))
+	}
+	// Group by identical critical-line sets: the paper's shape is five
+	// agreeing models and one divergent (GPT-5 Mini).
+	key := func(r Table1Row) string {
+		var b strings.Builder
+		for _, v := range r.CriticalLines {
+			b.WriteString(string(rune(v)) + ",")
+		}
+		return b.String()
+	}
+	groups := map[string][]string{}
+	for _, r := range rows {
+		groups[key(r)] = append(groups[key(r)], r.Model)
+		if len(r.CriticalLines) != 5 {
+			t.Errorf("%s returned %d lines, want 5", r.Model, len(r.CriticalLines))
+		}
+		if r.MaxOverloadPct <= 100 {
+			t.Errorf("%s max overload %.0f%%, expected >100%%", r.Model, r.MaxOverloadPct)
+		}
+		if r.TimeSeconds < 5 || r.TimeSeconds > 300 {
+			t.Errorf("%s time %.1fs outside paper scale", r.Model, r.TimeSeconds)
+		}
+	}
+	if len(groups) < 1 || len(groups) > 2 {
+		t.Errorf("expected 1-2 distinct critical sets, got %d", len(groups))
+	}
+	// The majority group has the five composite-strategy models.
+	var majority int
+	for _, members := range groups {
+		if len(members) > majority {
+			majority = len(members)
+		}
+	}
+	if majority < 5 {
+		t.Errorf("majority group has %d models, want >=5", majority)
+	}
+	// GPT-5 must be the slowest (paper: 92.7 s).
+	var gpt5, fastest float64 = 0, 1e18
+	for _, r := range rows {
+		if r.Model == llm.ModelGPT5 {
+			gpt5 = r.TimeSeconds
+		}
+		if r.TimeSeconds < fastest {
+			fastest = r.TimeSeconds
+		}
+	}
+	if gpt5 < 2*fastest {
+		t.Errorf("GPT-5 (%.1fs) should be much slower than the fastest (%.1fs)", gpt5, fastest)
+	}
+}
+
+func TestTable2MatchesSupportedCases(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	if rows[3].Name != "case118" || rows[3].Buses != 118 || rows[3].Gens != 54 {
+		t.Fatalf("case118 row %+v", rows[3])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	var buf bytes.Buffer
+	FormatSuccess(&buf, []SuccessRow{{Model: "m", Runs: 5, Successes: 5, SuccessRate: 100}})
+	if !strings.Contains(buf.String(), "100.0%") {
+		t.Fatalf("success table: %s", buf.String())
+	}
+	buf.Reset()
+	FormatDistribution(&buf, []DistRow{{Model: "m", Min: 1, Q1: 2, Median: 3, Q3: 4, Max: 5, Mean: 3}})
+	if !strings.Contains(buf.String(), "median") {
+		t.Fatal("distribution header missing")
+	}
+	buf.Reset()
+	FormatScaling(&buf, []ScalePoint{{Model: "m", Case: "case14", CaseNum: 14, MeanS: 9.9}})
+	if !strings.Contains(buf.String(), "9.9") {
+		t.Fatal("scaling cell missing")
+	}
+	buf.Reset()
+	FormatTable1(&buf, []Table1Row{{Model: "m", TimeSeconds: 92.7, CriticalLines: []int{6, 7, 0}, MaxOverloadPct: 137}})
+	out := buf.String()
+	if !strings.Contains(out, "92.7") || !strings.Contains(out, "6, 7, 0") || !strings.Contains(out, "137") {
+		t.Fatalf("table1: %s", out)
+	}
+	buf.Reset()
+	rows, _ := Table2()
+	FormatTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "case300") {
+		t.Fatal("table2 missing case300")
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gridmind/internal/model"
+)
+
+// FormatSuccess renders Figure 3 (left) as a text table.
+func FormatSuccess(w io.Writer, rows []SuccessRow) {
+	fmt.Fprintln(w, "Figure 3 (left) — ACOPF agent success rate by model")
+	fmt.Fprintf(w, "%-18s %8s %10s\n", "Model", "Runs", "Success")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %8d %9.1f%%\n", r.Model, r.Runs, r.SuccessRate)
+	}
+}
+
+// FormatDistribution renders Figure 3 (middle) as box-plot statistics.
+func FormatDistribution(w io.Writer, rows []DistRow) {
+	fmt.Fprintln(w, "Figure 3 (middle) — execution time distribution by model (seconds)")
+	fmt.Fprintf(w, "%-18s %8s %8s %8s %8s %8s %8s\n", "Model", "min", "q1", "median", "q3", "max", "mean")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f\n",
+			r.Model, r.Min, r.Q1, r.Median, r.Q3, r.Max, r.Mean)
+	}
+}
+
+// FormatScaling renders Figure 3 (right) as a model × case matrix.
+func FormatScaling(w io.Writer, pts []ScalePoint) {
+	fmt.Fprintln(w, "Figure 3 (right) — execution time vs case complexity (seconds, mean)")
+	// Collect axes preserving first-seen order.
+	var models []string
+	var casesSeen []string
+	cell := map[string]map[string]float64{}
+	for _, p := range pts {
+		if _, ok := cell[p.Model]; !ok {
+			cell[p.Model] = map[string]float64{}
+			models = append(models, p.Model)
+		}
+		if _, ok := cell[p.Model][p.Case]; !ok {
+			found := false
+			for _, c := range casesSeen {
+				if c == p.Case {
+					found = true
+					break
+				}
+			}
+			if !found {
+				casesSeen = append(casesSeen, p.Case)
+			}
+		}
+		cell[p.Model][p.Case] = p.MeanS
+	}
+	fmt.Fprintf(w, "%-18s", "Model")
+	for _, c := range casesSeen {
+		fmt.Fprintf(w, " %9s", strings.TrimPrefix(c, "case"))
+	}
+	fmt.Fprintln(w)
+	for _, m := range models {
+		fmt.Fprintf(w, "%-18s", m)
+		for _, c := range casesSeen {
+			fmt.Fprintf(w, " %9.1f", cell[m][c])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// FormatTable1 renders Table 1 in the paper's column layout.
+func FormatTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table 1 — CA Agent Performance (case118)")
+	fmt.Fprintf(w, "%-18s %9s  %-24s %14s\n", "Model", "Time (s)", "Critical Lines (idx)", "Max Overload %")
+	for _, r := range rows {
+		idx := make([]string, len(r.CriticalLines))
+		for i, v := range r.CriticalLines {
+			idx[i] = fmt.Sprint(v)
+		}
+		fmt.Fprintf(w, "%-18s %9.1f  %-24s %14.0f\n",
+			r.Model, r.TimeSeconds, strings.Join(idx, ", "), r.MaxOverloadPct)
+	}
+}
+
+// FormatTable2 renders the case inventory in the paper's Table 2 layout.
+func FormatTable2(w io.Writer, rows []model.Summary) {
+	fmt.Fprintln(w, "Table 2 — Test cases")
+	fmt.Fprintf(w, "%-10s %6s %6s %6s %9s %13s\n", "Case", "Bus", "Gen", "Load", "AC line", "Transformers")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %6d %6d %6d %9d %13d\n",
+			r.Name, r.Buses, r.Gens, r.Loads, r.ACLines, r.Transformers)
+	}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"gridmind/internal/agents"
+	"gridmind/internal/llm"
+	"gridmind/internal/metrics"
+	"gridmind/internal/simclock"
+)
+
+// ReliabilityRow aggregates one model's behaviour over a mixed workload —
+// the paper's "instrumentation bench" that logs solver metrics plus LLM
+// latency, token usage and occasional factual slips so reliability trends
+// can be monitored (§1).
+type ReliabilityRow struct {
+	Model            string  `json:"model"`
+	Sessions         int     `json:"sessions"`
+	Queries          int     `json:"queries"`
+	SuccessRate      float64 `json:"success_rate_pct"`
+	FactualSlips     int     `json:"factual_slips_caught"`
+	Recoveries       int     `json:"recoveries"`
+	ValidationErrors int     `json:"validation_errors"`
+	MeanLatencyS     float64 `json:"mean_latency_s"`
+	TotalTokens      int     `json:"total_tokens"`
+	ToolCalls        int     `json:"tool_calls"`
+}
+
+// workloadQueries builds a deterministic mixed session: a solve followed
+// by a sampled sequence of what-ifs, status checks, reliability studies
+// and sensitivity probes on valid buses of the chosen case.
+func workloadQueries(rng *rand.Rand) []string {
+	caseName := []string{"IEEE 14", "IEEE 30"}[rng.Intn(2)]
+	loadBuses := map[string][]int{
+		"IEEE 14": {3, 4, 9, 13, 14},
+		"IEEE 30": {5, 7, 12, 21, 30},
+	}[caseName]
+	qs := []string{"Solve " + caseName}
+	followUps := rng.Intn(3) + 3
+	for i := 0; i < followUps; i++ {
+		bus := loadBuses[rng.Intn(len(loadBuses))]
+		switch rng.Intn(6) {
+		case 0:
+			qs = append(qs, fmt.Sprintf("Increase the load at bus %d to %d MW", bus, 20+rng.Intn(40)))
+		case 1:
+			qs = append(qs, fmt.Sprintf("Decrease the load at bus %d by %d MW", bus, 1+rng.Intn(5)))
+		case 2:
+			qs = append(qs, "What is the current network status?")
+		case 3:
+			qs = append(qs, fmt.Sprintf("What are the top %d most critical contingencies?", 3+rng.Intn(3)))
+		case 4:
+			qs = append(qs, "Run a load sensitivity analysis on the marginal prices")
+		default:
+			qs = append(qs, fmt.Sprintf("Analyze the outage of branch %d", rng.Intn(15)))
+		}
+	}
+	return qs
+}
+
+// Reliability runs the mixed workload per model: cfg.Runs sessions each.
+func Reliability(ctx context.Context, cfg Config) ([]ReliabilityRow, error) {
+	cfg.fill()
+	var rows []ReliabilityRow
+	for _, m := range cfg.Models {
+		profile, ok := llm.ProfileByName(m)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown model %q", m)
+		}
+		rec := metrics.NewRecorder()
+		for s := 0; s < cfg.Runs; s++ {
+			rng := rand.New(rand.NewSource(int64(7000 + s)))
+			clock := simclock.NewSim(time.Date(2025, 9, 2, 0, 0, 0, 0, time.UTC))
+			coord := agents.NewCoordinator(agents.Config{
+				Client:        llm.NewSim(profile),
+				Clock:         clock,
+				Recorder:      rec,
+				AbsorbLatency: true,
+				Salt:          int64(s),
+			})
+			for _, q := range workloadQueries(rng) {
+				if _, err := coord.Handle(ctx, q); err != nil {
+					return nil, fmt.Errorf("experiments: %s session %d %q: %w", m, s, q, err)
+				}
+			}
+		}
+		all := rec.Rows()
+		sum := metrics.Summarize(all)
+		row := ReliabilityRow{
+			Model:        m,
+			Sessions:     cfg.Runs,
+			Queries:      len(all),
+			SuccessRate:  100 * sum.SuccessRate,
+			FactualSlips: sum.FactualSlips,
+			Recoveries:   sum.Recoveries,
+			MeanLatencyS: sum.MeanLatency.Seconds(),
+			TotalTokens:  sum.TotalTokens,
+			ToolCalls:    sum.ToolCalls,
+		}
+		for _, r := range all {
+			row.ValidationErrors += r.ValidationErrors
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatReliability renders the reliability-trend table.
+func FormatReliability(w io.Writer, rows []ReliabilityRow) {
+	fmt.Fprintln(w, "Reliability trends — mixed workload instrumentation")
+	fmt.Fprintf(w, "%-18s %8s %8s %9s %6s %10s %9s %10s %10s\n",
+		"Model", "Sessions", "Queries", "Success", "Slips", "Recoveries", "ValErrs", "MeanLat(s)", "Tokens")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %8d %8d %8.1f%% %6d %10d %9d %10.1f %10d\n",
+			r.Model, r.Sessions, r.Queries, r.SuccessRate, r.FactualSlips,
+			r.Recoveries, r.ValidationErrors, r.MeanLatencyS, r.TotalTokens)
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"gridmind/internal/llm"
+)
+
+func TestReliabilityWorkload(t *testing.T) {
+	cfg := Config{Models: []string{llm.ModelGPT5Nano}, Runs: 2}
+	rows, err := Reliability(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	r := rows[0]
+	if r.Queries < 8 { // 2 sessions × (1 solve + ≥3 follow-ups)
+		t.Fatalf("only %d queries executed", r.Queries)
+	}
+	// The architectural guarantee: mixed workloads still succeed at 100%
+	// because every numeric flows through validated tools.
+	if r.SuccessRate != 100 {
+		t.Fatalf("success rate %.1f%%, want 100%%", r.SuccessRate)
+	}
+	if r.ToolCalls == 0 || r.TotalTokens == 0 {
+		t.Fatalf("instrumentation lost: %+v", r)
+	}
+	if r.MeanLatencyS <= 0 {
+		t.Fatal("latency not tracked")
+	}
+}
+
+func TestReliabilitySlipsCaught(t *testing.T) {
+	// GPT-5 Nano has the highest slip rate (5%); across enough
+	// narrations at least one slip should be injected — and every one is
+	// repaired by the audit layer while queries still succeed.
+	cfg := Config{Models: []string{llm.ModelGPT5Nano}, Runs: 6}
+	rows, err := Reliability(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.FactualSlips == 0 {
+		t.Skip("no slips drawn in this seeded workload; acceptable but rare")
+	}
+	if r.SuccessRate != 100 {
+		t.Fatalf("slips must not break success: %.1f%%", r.SuccessRate)
+	}
+}
+
+func TestReliabilityDeterministic(t *testing.T) {
+	cfg := Config{Models: []string{llm.ModelGPTO3}, Runs: 2}
+	a, err := Reliability(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Reliability(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Turn latency blends simulated LLM time with REAL solver wall time
+	// (by design), so only the behavioural fields are bitwise stable.
+	a[0].MeanLatencyS, b[0].MeanLatencyS = 0, 0
+	if a[0] != b[0] {
+		t.Fatalf("reliability behaviour differs across identical runs:\n%+v\n%+v", a[0], b[0])
+	}
+}
+
+func TestFormatReliability(t *testing.T) {
+	var buf bytes.Buffer
+	FormatReliability(&buf, []ReliabilityRow{{
+		Model: "m", Sessions: 2, Queries: 10, SuccessRate: 100,
+		FactualSlips: 1, MeanLatencyS: 12.5, TotalTokens: 5000,
+	}})
+	out := buf.String()
+	if !strings.Contains(out, "100.0%") || !strings.Contains(out, "12.5") {
+		t.Fatalf("format: %s", out)
+	}
+}

@@ -1,0 +1,87 @@
+package llm
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the intent parser accepts arbitrary text without panicking
+// and always returns structurally sane fields — the front door of the
+// agent system must survive anything a user types.
+func TestParseIntentNeverPanicsProperty(t *testing.T) {
+	f := func(text string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		in := parseIntent(text)
+		if in.topK < 1 || in.topK > 100 {
+			return false
+		}
+		if in.modify != nil && in.modify.sign != 1 && in.modify.sign != -1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the simulated model completes any conversation containing a
+// user message — tool call or text, never an error or panic — across
+// random garbage inputs and profiles.
+func TestSimClientRobustnessProperty(t *testing.T) {
+	profiles := Profiles()
+	f := func(seed int64, text string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		c := NewSim(profiles[rng.Intn(len(profiles))])
+		toolSets := [][]ToolDef{acopfTools(), caTools(), nil}
+		req := &Request{
+			Model:    c.Model(),
+			Messages: []Message{{Role: RoleSystem, Content: "s"}, {Role: RoleUser, Content: text}},
+			Tools:    toolSets[rng.Intn(len(toolSets))],
+			Salt:     seed,
+		}
+		resp, err := c.Complete(context.Background(), req)
+		if err != nil {
+			return false
+		}
+		// Either a tool call or a non-empty reply, never both empty.
+		return len(resp.Message.ToolCalls) > 0 || resp.Message.Content != ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: malformed tool results (broken JSON, wrong shapes) never
+// crash the model's reaction — they surface as error handling, not
+// panics.
+func TestSimClientMalformedToolResults(t *testing.T) {
+	c := NewSim(Profiles()[0])
+	for _, content := range []string{
+		"", "not json", `{"error": 42}`, `[1,2,3]`, `{"critical": "not-a-list"}`,
+		`{"objective_cost": "NaN"}`, `{"solved": "yes"}`,
+	} {
+		req := userReq(acopfTools(), "Solve IEEE 14",
+			Message{Role: RoleAssistant, ToolCalls: []ToolCall{{ID: "1", Name: "solve_acopf_case", Args: map[string]any{"case_name": "case14"}}}},
+			Message{Role: RoleTool, Name: "solve_acopf_case", Content: content, ToolCallID: "1"},
+		)
+		resp, err := c.Complete(context.Background(), req)
+		if err != nil {
+			t.Fatalf("content %q: %v", content, err)
+		}
+		if resp.Message.Content == "" && len(resp.Message.ToolCalls) == 0 {
+			t.Fatalf("content %q: empty response", content)
+		}
+	}
+}

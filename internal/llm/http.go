@@ -1,0 +1,226 @@
+package llm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// The wire format follows the OpenAI chat-completions dialect closely
+// enough that GridMind can speak to compatible gateways (the paper routes
+// some models through a proxy server); the simulated backends can also be
+// served over this protocol so tests exercise the full network path.
+
+type wireMessage struct {
+	Role       string         `json:"role"`
+	Content    string         `json:"content,omitempty"`
+	ToolCalls  []wireToolCall `json:"tool_calls,omitempty"`
+	ToolCallID string         `json:"tool_call_id,omitempty"`
+	Name       string         `json:"name,omitempty"`
+}
+
+type wireToolCall struct {
+	ID       string       `json:"id"`
+	Type     string       `json:"type"`
+	Function wireFunction `json:"function"`
+}
+
+type wireFunction struct {
+	Name      string `json:"name"`
+	Arguments string `json:"arguments"` // JSON-encoded args
+}
+
+type wireTool struct {
+	Type     string       `json:"type"`
+	Function wireToolSpec `json:"function"`
+}
+
+type wireToolSpec struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Parameters  any    `json:"parameters"`
+}
+
+type wireRequest struct {
+	Model    string        `json:"model"`
+	Messages []wireMessage `json:"messages"`
+	Tools    []wireTool    `json:"tools,omitempty"`
+	Salt     int64         `json:"salt,omitempty"`
+}
+
+type wireResponse struct {
+	Choices []struct {
+		Message wireMessage `json:"message"`
+	} `json:"choices"`
+	Usage struct {
+		PromptTokens     int `json:"prompt_tokens"`
+		CompletionTokens int `json:"completion_tokens"`
+	} `json:"usage"`
+	LatencyNS int64  `json:"latency_ns,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+func toWire(req *Request) *wireRequest {
+	w := &wireRequest{Model: req.Model, Salt: req.Salt}
+	for _, m := range req.Messages {
+		wm := wireMessage{Role: string(m.Role), Content: m.Content, ToolCallID: m.ToolCallID, Name: m.Name}
+		for _, tc := range m.ToolCalls {
+			raw, _ := json.Marshal(tc.Args)
+			wm.ToolCalls = append(wm.ToolCalls, wireToolCall{
+				ID: tc.ID, Type: "function",
+				Function: wireFunction{Name: tc.Name, Arguments: string(raw)},
+			})
+		}
+		w.Messages = append(w.Messages, wm)
+	}
+	for _, t := range req.Tools {
+		w.Tools = append(w.Tools, wireTool{
+			Type:     "function",
+			Function: wireToolSpec{Name: t.Name, Description: t.Description, Parameters: t.Parameters},
+		})
+	}
+	return w
+}
+
+func fromWire(w *wireRequest) *Request {
+	req := &Request{Model: w.Model, Salt: w.Salt}
+	for _, m := range w.Messages {
+		rm := Message{Role: Role(m.Role), Content: m.Content, ToolCallID: m.ToolCallID, Name: m.Name}
+		for _, tc := range m.ToolCalls {
+			var args map[string]any
+			_ = json.Unmarshal([]byte(tc.Function.Arguments), &args)
+			rm.ToolCalls = append(rm.ToolCalls, ToolCall{ID: tc.ID, Name: tc.Function.Name, Args: args})
+		}
+		req.Messages = append(req.Messages, rm)
+	}
+	for _, t := range w.Tools {
+		req.Tools = append(req.Tools, ToolDef{
+			Name: t.Function.Name, Description: t.Function.Description, Parameters: t.Function.Parameters,
+		})
+	}
+	return req
+}
+
+// HTTPClient speaks the chat-completions protocol to a remote endpoint.
+type HTTPClient struct {
+	// Endpoint is the completions URL, e.g. http://host/v1/chat/completions.
+	Endpoint string
+	// ModelName is sent in requests and reported by Model().
+	ModelName string
+	// HTTP allows transport customization; nil selects a 120 s client.
+	HTTP *http.Client
+}
+
+// Model implements Client.
+func (c *HTTPClient) Model() string { return c.ModelName }
+
+// Complete implements Client.
+func (c *HTTPClient) Complete(ctx context.Context, req *Request) (*Response, error) {
+	hc := c.HTTP
+	if hc == nil {
+		hc = &http.Client{Timeout: 120 * time.Second}
+	}
+	req2 := *req
+	if req2.Model == "" {
+		req2.Model = c.ModelName
+	}
+	body, err := json.Marshal(toWire(&req2))
+	if err != nil {
+		return nil, fmt.Errorf("llm: marshal request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Endpoint, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	hres, err := hc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("llm: endpoint %s: %w", c.Endpoint, err)
+	}
+	defer hres.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(hres.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if hres.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("llm: endpoint returned %s: %s", hres.Status, truncate(string(raw), 200))
+	}
+	var w wireResponse
+	if err := json.Unmarshal(raw, &w); err != nil {
+		return nil, fmt.Errorf("llm: decode response: %w", err)
+	}
+	if w.Error != "" {
+		return nil, fmt.Errorf("llm: backend error: %s", w.Error)
+	}
+	if len(w.Choices) == 0 {
+		return nil, fmt.Errorf("llm: backend returned no choices")
+	}
+	wm := w.Choices[0].Message
+	msg := Message{Role: Role(wm.Role), Content: wm.Content}
+	for _, tc := range wm.ToolCalls {
+		var args map[string]any
+		_ = json.Unmarshal([]byte(tc.Function.Arguments), &args)
+		msg.ToolCalls = append(msg.ToolCalls, ToolCall{ID: tc.ID, Name: tc.Function.Name, Args: args})
+	}
+	lat := time.Since(start)
+	if w.LatencyNS > 0 {
+		lat = time.Duration(w.LatencyNS)
+	}
+	return &Response{
+		Message: msg,
+		Usage:   Usage{PromptTokens: w.Usage.PromptTokens, CompletionTokens: w.Usage.CompletionTokens},
+		Latency: lat,
+	}, nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// Handler serves any Client over the chat-completions protocol, so a
+// simulated backend can stand in for a remote API end to end.
+func Handler(backend Client) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var wreq wireRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&wreq); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := backend.Complete(r.Context(), fromWire(&wreq))
+		w.Header().Set("Content-Type", "application/json")
+		var out wireResponse
+		if err != nil {
+			out.Error = err.Error()
+			w.WriteHeader(http.StatusInternalServerError)
+			_ = json.NewEncoder(w).Encode(out)
+			return
+		}
+		wm := wireMessage{Role: string(res.Message.Role), Content: res.Message.Content}
+		for _, tc := range res.Message.ToolCalls {
+			raw, _ := json.Marshal(tc.Args)
+			wm.ToolCalls = append(wm.ToolCalls, wireToolCall{
+				ID: tc.ID, Type: "function",
+				Function: wireFunction{Name: tc.Name, Arguments: string(raw)},
+			})
+		}
+		out.Choices = []struct {
+			Message wireMessage `json:"message"`
+		}{{Message: wm}}
+		out.Usage.PromptTokens = res.Usage.PromptTokens
+		out.Usage.CompletionTokens = res.Usage.CompletionTokens
+		out.LatencyNS = int64(res.Latency)
+		_ = json.NewEncoder(w).Encode(out)
+	})
+}

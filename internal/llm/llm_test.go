@@ -1,0 +1,353 @@
+package llm
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gridmind/internal/contingency"
+)
+
+func acopfTools() []ToolDef {
+	return []ToolDef{
+		{Name: "solve_acopf_case", Description: "solve"},
+		{Name: "modify_bus_load", Description: "modify"},
+		{Name: "get_network_status", Description: "status"},
+	}
+}
+
+func caTools() []ToolDef {
+	return []ToolDef{
+		{Name: "solve_base_case"},
+		{Name: "run_n1_contingency_analysis"},
+		{Name: "analyze_specific_contingency"},
+		{Name: "get_contingency_status"},
+	}
+}
+
+func mustProfile(t *testing.T, name string) Profile {
+	t.Helper()
+	p, ok := ProfileByName(name)
+	if !ok {
+		t.Fatalf("profile %s missing", name)
+	}
+	return p
+}
+
+func userReq(tools []ToolDef, text string, more ...Message) *Request {
+	msgs := append([]Message{
+		{Role: RoleSystem, Content: "system"},
+		{Role: RoleUser, Content: text},
+	}, more...)
+	return &Request{Model: "m", Messages: msgs, Tools: tools}
+}
+
+func toolMsg(name string, payload map[string]any) Message {
+	raw, _ := json.Marshal(payload)
+	return Message{Role: RoleTool, Name: name, Content: string(raw), ToolCallID: "call-" + name}
+}
+
+func TestParseIntentCases(t *testing.T) {
+	in := parseIntent("Solve IEEE 118")
+	if !in.solve || in.caseName != "case118" {
+		t.Fatalf("intent %+v", in)
+	}
+	in = parseIntent("please run the optimal power flow for case 30")
+	if !in.solve || in.caseName != "case30" {
+		t.Fatalf("intent %+v", in)
+	}
+	// Bus numbers must not be mistaken for cases.
+	in = parseIntent("Increase the load for bus 10 to 50MW")
+	if in.caseName != "" || in.modify == nil {
+		t.Fatalf("intent %+v", in)
+	}
+	if in.modify.bus != 10 || in.modify.value != 50 || in.modify.relative {
+		t.Fatalf("modify %+v", in.modify)
+	}
+	in = parseIntent("decrease load at bus 5 by 7.5 MW")
+	if in.modify == nil || !in.modify.relative || in.modify.sign != -1 || in.modify.value != 7.5 {
+		t.Fatalf("modify %+v", in.modify)
+	}
+	in = parseIntent("what's the most critical contingencies in this network")
+	if !in.conting || in.topK != 5 {
+		t.Fatalf("intent %+v", in)
+	}
+	in = parseIntent("show the top 10 critical outages of ieee-57")
+	if in.topK != 10 || in.caseName != "case57" {
+		t.Fatalf("intent %+v", in)
+	}
+	in = parseIntent("analyze the outage of line between buses 37 and 40")
+	if in.fromBus != 37 || in.toBus != 40 {
+		t.Fatalf("intent %+v", in)
+	}
+	in = parseIntent("analyze the outage of branch 13")
+	if in.branch != 13 {
+		t.Fatalf("intent %+v", in)
+	}
+	in = parseIntent("solve IEEE 9999")
+	if in.badCase == "" {
+		t.Fatalf("bad case not flagged: %+v", in)
+	}
+}
+
+func TestSimEmitsSolveCall(t *testing.T) {
+	c := NewSim(mustProfile(t, ModelGPTO3))
+	resp, err := c.Complete(context.Background(), userReq(acopfTools(), "Solve IEEE 118"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Message.ToolCalls) != 1 {
+		t.Fatalf("tool calls %v", resp.Message.ToolCalls)
+	}
+	tc := resp.Message.ToolCalls[0]
+	if tc.Name != "solve_acopf_case" || tc.Args["case_name"] != "case118" {
+		t.Fatalf("call %+v", tc)
+	}
+	if resp.Usage.PromptTokens == 0 || resp.Usage.CompletionTokens == 0 {
+		t.Fatal("usage not accounted")
+	}
+	if resp.Latency <= 0 {
+		t.Fatal("no latency simulated")
+	}
+}
+
+func TestSimNarratesAfterSolve(t *testing.T) {
+	c := NewSim(mustProfile(t, ModelGPT5))
+	req := userReq(acopfTools(), "Solve IEEE 14",
+		Message{Role: RoleAssistant, ToolCalls: []ToolCall{{ID: "1", Name: "solve_acopf_case", Args: map[string]any{"case_name": "case14"}}}},
+		toolMsg("solve_acopf_case", map[string]any{
+			"case_name": "case14", "solved": true, "method": "primal-dual-interior-point",
+			"iterations": 17.0, "objective_cost": 8081.53, "total_gen_mw": 268.3,
+			"loss_mw": 9.3, "min_voltage_pu": 1.0102, "max_voltage_pu": 1.06,
+			"max_thermal_loading_pct": 0.0, "binding_flow_limits": 0.0,
+			"lmp_min": 36.5, "lmp_max": 40.9, "recovery_used": false,
+			"max_mismatch_pu": 1e-9, "convergence_message": "ok",
+		}))
+	resp, err := c.Complete(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Message.ToolCalls) != 0 {
+		t.Fatal("expected narration, got tool calls")
+	}
+	text := resp.Message.Content
+	for _, want := range []string{"case14", "$8081.53/h", "1.0102", "17 iterations"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("narration lacks %q: %s", want, text)
+		}
+	}
+	// GPT-5 is verbose: LMP range included.
+	if !strings.Contains(text, "36.50") || !strings.Contains(text, "$/MWh") {
+		t.Fatalf("verbose profile should cite LMPs: %s", text)
+	}
+}
+
+func TestSimCAFlow(t *testing.T) {
+	c := NewSim(mustProfile(t, ModelGPTO3))
+	// Step 1: base case first.
+	resp, err := c.Complete(context.Background(), userReq(caTools(), "most critical contingencies in IEEE 118"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Message.ToolCalls[0].Name != "solve_base_case" {
+		t.Fatalf("first call %v", resp.Message.ToolCalls)
+	}
+	// Step 2: the sweep, with the profile's strategy.
+	req := userReq(caTools(), "most critical contingencies in IEEE 118",
+		Message{Role: RoleAssistant, ToolCalls: []ToolCall{{ID: "1", Name: "solve_base_case", Args: map[string]any{}}}},
+		toolMsg("solve_base_case", map[string]any{"converged": true, "loss_mw": 80.0, "min_voltage_pu": 0.97, "max_loading_pct": 88.0}),
+	)
+	resp, err = c.Complete(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := resp.Message.ToolCalls[0]
+	if tc.Name != "run_n1_contingency_analysis" || tc.Args["strategy"] != "composite" {
+		t.Fatalf("call %+v", tc)
+	}
+	// The divergent profile instructs thermal-first.
+	mini := NewSim(mustProfile(t, ModelGPT5Mini))
+	resp, err = mini.Complete(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Message.ToolCalls[0].Args["strategy"] != "thermal-first" {
+		t.Fatalf("GPT-5 Mini should use thermal-first: %+v", resp.Message.ToolCalls[0])
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	c := NewSim(mustProfile(t, ModelGPT5Nano))
+	req := userReq(acopfTools(), "Solve IEEE 30")
+	req.Salt = 3
+	a, err := c.Complete(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Complete(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Latency != b.Latency {
+		t.Fatal("same request should draw the same latency")
+	}
+	req2 := userReq(acopfTools(), "Solve IEEE 30")
+	req2.Salt = 4
+	d, err := c.Complete(context.Background(), req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Latency == a.Latency {
+		t.Fatal("different salts should draw different latencies")
+	}
+}
+
+func TestSimLatencyProfilesOrdering(t *testing.T) {
+	// Mean simulated latency over many draws must follow the profile
+	// ordering of Figure 3: o4-mini fastest, GPT-5 slowest for ACOPF.
+	mean := func(name string) float64 {
+		c := NewSim(mustProfile(t, name))
+		var sum float64
+		for salt := int64(0); salt < 40; salt++ {
+			req := userReq(acopfTools(), "Solve IEEE 118")
+			req.Salt = salt
+			resp, err := c.Complete(context.Background(), req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += resp.Latency.Seconds()
+		}
+		return sum / 40
+	}
+	o4 := mean(ModelGPTO4Mini)
+	g5 := mean(ModelGPT5)
+	claude := mean(ModelClaude4Son)
+	if !(o4 < claude && claude < g5) {
+		t.Fatalf("latency ordering violated: o4=%v claude=%v gpt5=%v", o4, claude, g5)
+	}
+}
+
+func TestInjectSlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	text := "Total cost is $8081.53/h today."
+	mutated := injectSlip(text, rng)
+	if mutated == text {
+		t.Fatal("slip did not mutate the figure")
+	}
+	if !strings.Contains(mutated, "/h today.") {
+		t.Fatalf("mutation broke surrounding text: %q", mutated)
+	}
+	// No money figure → untouched.
+	if injectSlip("nothing here", rng) != "nothing here" {
+		t.Fatal("text without figures was modified")
+	}
+}
+
+func TestFactualSlipRateRealized(t *testing.T) {
+	// With SlipRate=1 every narration must carry a slip.
+	p := mustProfile(t, ModelGPT5Nano)
+	p.SlipRate = 1
+	c := NewSim(p)
+	req := userReq(acopfTools(), "Solve IEEE 14",
+		Message{Role: RoleAssistant, ToolCalls: []ToolCall{{ID: "1", Name: "solve_acopf_case", Args: map[string]any{"case_name": "case14"}}}},
+		toolMsg("solve_acopf_case", map[string]any{
+			"case_name": "case14", "solved": true, "method": "ipm", "iterations": 10.0,
+			"objective_cost": 8081.53, "total_gen_mw": 268.0, "loss_mw": 9.0,
+			"min_voltage_pu": 1.01, "max_voltage_pu": 1.06, "max_thermal_loading_pct": 0.0,
+			"binding_flow_limits": 0.0, "lmp_min": 36.0, "lmp_max": 41.0,
+			"recovery_used": false, "max_mismatch_pu": 1e-9, "convergence_message": "ok",
+		}))
+	resp, err := c.Complete(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(resp.Message.Content, "$8081.53/h") {
+		t.Fatalf("slip rate 1 but the cost is quoted exactly: %s", resp.Message.Content)
+	}
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	// Serve a simulated backend over the chat-completions protocol and
+	// drive it through the HTTP client: behaviour must be identical.
+	backend := NewSim(mustProfile(t, ModelGPTO3))
+	srv := httptest.NewServer(Handler(backend))
+	defer srv.Close()
+
+	client := &HTTPClient{Endpoint: srv.URL, ModelName: ModelGPTO3}
+	if client.Model() != ModelGPTO3 {
+		t.Fatal("model name")
+	}
+	resp, err := client.Complete(context.Background(), userReq(acopfTools(), "Solve IEEE 57"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Message.ToolCalls) != 1 || resp.Message.ToolCalls[0].Name != "solve_acopf_case" {
+		t.Fatalf("remote call %+v", resp.Message)
+	}
+	if resp.Message.ToolCalls[0].Args["case_name"] != "case57" {
+		t.Fatalf("args %v", resp.Message.ToolCalls[0].Args)
+	}
+	if resp.Usage.PromptTokens == 0 {
+		t.Fatal("usage lost over the wire")
+	}
+}
+
+func TestHTTPServerRejectsGet(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewSim(mustProfile(t, ModelGPTO3))))
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 405 {
+		t.Fatalf("status %d, want 405", res.StatusCode)
+	}
+}
+
+func TestHTTPClientSurfacesBackendErrors(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewSim(mustProfile(t, ModelGPTO3))))
+	defer srv.Close()
+	client := &HTTPClient{Endpoint: srv.URL, ModelName: ModelGPTO3}
+	// No user message → backend error propagated through the wire.
+	_, err := client.Complete(context.Background(), &Request{
+		Messages: []Message{{Role: RoleSystem, Content: "s"}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "user message") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEstimateTokens(t *testing.T) {
+	if EstimateTokens("") != 0 {
+		t.Fatal("empty text")
+	}
+	if EstimateTokens("abcd") != 1 || EstimateTokens("abcdefgh") != 2 {
+		t.Fatal("4 chars per token rule")
+	}
+}
+
+func TestProfilesComplete(t *testing.T) {
+	names := ModelNames()
+	if len(names) != 6 {
+		t.Fatalf("profiles %d, want the paper's 6", len(names))
+	}
+	divergent := 0
+	for _, p := range Profiles() {
+		if p.ACOPFCallSec <= 0 || p.CACallSec <= 0 {
+			t.Fatalf("%s has non-positive latency params", p.Name)
+		}
+		if p.Strategy == contingency.ThermalFirst {
+			divergent++
+		}
+	}
+	if divergent != 1 {
+		t.Fatalf("exactly one divergent profile expected (GPT-5 Mini), got %d", divergent)
+	}
+	if _, ok := ProfileByName("no-such-model"); ok {
+		t.Fatal("unknown profile resolved")
+	}
+}

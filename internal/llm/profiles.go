@@ -1,0 +1,100 @@
+package llm
+
+import "gridmind/internal/contingency"
+
+// Profile captures the behavioural fingerprint of one evaluated model.
+// Latency parameters are calibrated so that full agent turns reproduce
+// the paper's Figure 3 (ACOPF) and Table 1 (contingency analysis)
+// timings; Strategy reproduces the analytical divergence the paper
+// observed for GPT-5 Mini.
+type Profile struct {
+	Name string
+	// ACOPFCallSec / CACallSec are mean per-completion latencies in
+	// simulated seconds for ACOPF-domain and CA-domain conversations
+	// (reasoning models spend longer per call on the larger CA payloads).
+	ACOPFCallSec float64
+	CACallSec    float64
+	// Jitter is the lognormal sigma of the latency distribution; the
+	// paper's Figure 3 shows o4-mini with the widest relative spread.
+	Jitter float64
+	// PerKTokenSec adds token-proportional latency.
+	PerKTokenSec float64
+	// Strategy is the contingency ranking style the model instructs the
+	// tools to use. ThermalFirst reproduces Table 1's divergent GPT-5
+	// Mini row (different 5th critical line, higher max overload).
+	Strategy contingency.Strategy
+	// Verbosity scales narration length (and therefore completion
+	// tokens).
+	Verbosity float64
+	// SlipRate is the probability of a factual slip in a narration: a
+	// slightly misquoted number that the agent's auditor must catch and
+	// repair against the structured results.
+	SlipRate float64
+}
+
+// Model names as evaluated in §4.
+const (
+	ModelGPT5       = "GPT-5"
+	ModelGPT5Mini   = "GPT-5 Mini"
+	ModelGPT5Nano   = "GPT-5 Nano"
+	ModelGPTO4Mini  = "GPT-o4 Mini"
+	ModelGPTO3      = "GPT-o3"
+	ModelClaude4Son = "Claude 4 Sonnet"
+)
+
+// Profiles returns the six evaluated model profiles in the paper's Table 1
+// row order.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Name:         ModelGPT5,
+			ACOPFCallSec: 31, CACallSec: 30.5, Jitter: 0.12, PerKTokenSec: 0.25,
+			Strategy: contingency.Composite, Verbosity: 1.4, SlipRate: 0.01,
+		},
+		{
+			Name:         ModelGPT5Mini,
+			ACOPFCallSec: 12, CACallSec: 8.1, Jitter: 0.18, PerKTokenSec: 0.15,
+			Strategy: contingency.ThermalFirst, Verbosity: 1.0, SlipRate: 0.03,
+		},
+		{
+			Name:         ModelGPT5Nano,
+			ACOPFCallSec: 14.5, CACallSec: 8.6, Jitter: 0.22, PerKTokenSec: 0.12,
+			Strategy: contingency.Composite, Verbosity: 0.8, SlipRate: 0.05,
+		},
+		{
+			Name:         ModelGPTO4Mini,
+			ACOPFCallSec: 3.6, CACallSec: 11.2, Jitter: 0.45, PerKTokenSec: 0.10,
+			Strategy: contingency.Composite, Verbosity: 0.9, SlipRate: 0.04,
+		},
+		{
+			Name:         ModelGPTO3,
+			ACOPFCallSec: 8.8, CACallSec: 8.0, Jitter: 0.20, PerKTokenSec: 0.15,
+			Strategy: contingency.Composite, Verbosity: 1.0, SlipRate: 0.02,
+		},
+		{
+			Name:         ModelClaude4Son,
+			ACOPFCallSec: 24.5, CACallSec: 20.8, Jitter: 0.16, PerKTokenSec: 0.20,
+			Strategy: contingency.Composite, Verbosity: 1.2, SlipRate: 0.01,
+		},
+	}
+}
+
+// ProfileByName returns the named profile.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// ModelNames returns the evaluated model names in Table 1 order.
+func ModelNames() []string {
+	ps := Profiles()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}

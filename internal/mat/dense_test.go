@@ -1,0 +1,256 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewDenseFromAndAt(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	r, c := m.Dims()
+	if r != 3 || c != 2 {
+		t.Fatalf("Dims = %d,%d want 3,2", r, c)
+	}
+	if m.At(2, 1) != 6 {
+		t.Fatalf("At(2,1) = %v want 6", m.At(2, 1))
+	}
+}
+
+func TestNewDenseFromRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	NewDenseFrom([][]float64{{1, 2}, {3}})
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := NewDense(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range index")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestSetAddClone(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2)
+	if m.At(0, 1) != 7 {
+		t.Fatalf("Set+Add = %v want 7", m.At(0, 1))
+	}
+	c := m.Clone()
+	c.Set(0, 1, 99)
+	if m.At(0, 1) != 7 {
+		t.Fatal("Clone is not a deep copy")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y := m.MulVec([]float64{1, 1, 1})
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v want [6 15]", y)
+	}
+}
+
+func TestMulMatchesManual(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewDenseFrom([][]float64{{5, 6}, {7, 8}})
+	p := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if p.At(i, j) != want[i][j] {
+				t.Fatalf("Mul(%d,%d) = %v want %v", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestIdentityMulIsNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomDense(rng, 7, 7)
+	p := Identity(7).Mul(a)
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 7; j++ {
+			if p.At(i, j) != a.At(i, j) {
+				t.Fatalf("I*A differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	r, c := at.Dims()
+	if r != 3 || c != 2 {
+		t.Fatalf("T dims = %d,%d want 3,2", r, c)
+	}
+	if at.At(2, 1) != 6 {
+		t.Fatalf("T(2,1) = %v want 6", at.At(2, 1))
+	}
+}
+
+func TestScaleAddMatMaxAbs(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, -2}, {3, -4}})
+	b := a.Clone().Scale(2)
+	if b.At(1, 1) != -8 {
+		t.Fatalf("Scale = %v want -8", b.At(1, 1))
+	}
+	s := a.AddMat(b)
+	if s.At(1, 0) != 9 {
+		t.Fatalf("AddMat = %v want 9", s.At(1, 0))
+	}
+	if s.MaxAbs() != 12 {
+		t.Fatalf("MaxAbs = %v want 12", s.MaxAbs())
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Fatal("Norm2 failed")
+	}
+	if NormInf([]float64{-7, 2}) != 7 {
+		t.Fatal("NormInf failed")
+	}
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("Dot failed")
+	}
+	y := []float64{1, 1}
+	AXPY(2, []float64{1, 2}, y)
+	if y[0] != 3 || y[1] != 5 {
+		t.Fatalf("AXPY = %v", y)
+	}
+}
+
+func randomDense(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestLUSolveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 5, 20, 60} {
+		a := randomDense(rng, n, n)
+		// Diagonal boost keeps the random matrix comfortably nonsingular.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n))
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := SolveDense(a, b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range got {
+			if !almostEq(got[i], want[i], 1e-9) {
+				t.Fatalf("n=%d: x[%d] = %v want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {2, 4}})
+	if _, err := Factorize(a); err == nil {
+		t.Fatal("expected singular matrix error")
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := NewDenseFrom([][]float64{{4, 3}, {6, 3}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Det(), -6, 1e-12) {
+		t.Fatalf("Det = %v want -6", f.Det())
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := Factorize(NewDense(2, 3)); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func TestLUSolveWrongLength(t *testing.T) {
+	f, err := Factorize(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1, 2}); err == nil {
+		t.Fatal("expected rhs length error")
+	}
+}
+
+// Property: for any well-conditioned A and x, Solve(A, A·x) ≈ x.
+func TestLUSolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		a := randomDense(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(2*n))
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got, err := SolveDense(a, a.MulVec(x))
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !almostEq(got[i], x[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: det(A·B) = det(A)·det(B).
+func TestLUDetMultiplicativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := randomDense(rng, n, n)
+		b := randomDense(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n))
+			b.Add(i, i, float64(n))
+		}
+		fa, err1 := Factorize(a)
+		fb, err2 := Factorize(b)
+		fab, err3 := Factorize(a.Mul(b))
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		prod := fa.Det() * fb.Det()
+		return almostEq(fab.Det(), prod, 1e-6*math.Max(1, math.Abs(prod)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

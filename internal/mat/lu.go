@@ -1,0 +1,122 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular reports a numerically singular matrix during factorization.
+var ErrSingular = errors.New("mat: matrix is singular")
+
+// LU holds an LU factorization with partial (row) pivoting: P·A = L·U.
+type LU struct {
+	n    int
+	lu   []float64 // packed L (unit diagonal, below) and U (on/above diagonal)
+	piv  []int     // row permutation applied to A
+	sign int       // determinant sign of the permutation
+}
+
+// Factorize computes the LU decomposition of the square matrix a with
+// partial pivoting. a is not modified.
+func Factorize(a *Dense) (*LU, error) {
+	r, c := a.Dims()
+	if r != c {
+		return nil, fmt.Errorf("mat: Factorize needs square matrix, got %dx%d", r, c)
+	}
+	n := r
+	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
+	copy(f.lu, a.data)
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Find pivot row.
+		p := k
+		mx := math.Abs(f.lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(f.lu[i*n+k]); v > mx {
+				mx, p = v, i
+			}
+		}
+		if mx == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		if p != k {
+			rk := f.lu[k*n : (k+1)*n]
+			rp := f.lu[p*n : (p+1)*n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+			f.sign = -f.sign
+		}
+		pivot := f.lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := f.lu[i*n+k] / pivot
+			f.lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			rowI := f.lu[i*n+k+1 : (i+1)*n]
+			rowK := f.lu[k*n+k+1 : (k+1)*n]
+			for j := range rowI {
+				rowI[j] -= m * rowK[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve returns x such that A·x = b for the factorized A.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("mat: Solve rhs length %d, want %d", len(b), f.n)
+	}
+	n := f.n
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit-diagonal L.
+	for i := 1; i < n; i++ {
+		row := f.lu[i*n : i*n+i]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu[i*n+i+1 : (i+1)*n]
+		s := x[i]
+		for j, v := range row {
+			s -= v * x[i+1+j]
+		}
+		d := f.lu[i*n+i]
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}
+
+// SolveDense solves A·x = b directly (factorize + solve) for one-shot use.
+func SolveDense(a *Dense, b []float64) ([]float64, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

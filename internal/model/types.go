@@ -1,0 +1,128 @@
+// Package model defines the power-system data model used throughout
+// GridMind: buses, generators, loads and branches in the per-unit system,
+// plus admittance-matrix construction.
+//
+// It is the Go counterpart of the paper's unified PowerSystem schema
+// (GridMind §3.3): a single strongly typed representation that every agent
+// and solver shares, so that all numerical artifacts are grounded in the
+// same validated network state.
+package model
+
+import "fmt"
+
+// BusType classifies a bus for power flow purposes.
+type BusType int
+
+const (
+	// PQ buses have fixed active and reactive injections.
+	PQ BusType = iota + 1
+	// PV buses have fixed active injection and voltage magnitude.
+	PV
+	// Slack is the reference bus: fixed voltage magnitude and angle.
+	Slack
+	// Isolated buses are disconnected and excluded from solving.
+	Isolated
+)
+
+// String implements fmt.Stringer.
+func (t BusType) String() string {
+	switch t {
+	case PQ:
+		return "PQ"
+	case PV:
+		return "PV"
+	case Slack:
+		return "slack"
+	case Isolated:
+		return "isolated"
+	default:
+		return fmt.Sprintf("BusType(%d)", int(t))
+	}
+}
+
+// Bus is a network node. Voltages are in per-unit on the bus base kV.
+type Bus struct {
+	// ID is the external bus number (as printed in case files and
+	// conversations). Internal references use slice indices.
+	ID   int
+	Type BusType
+	// Vm and Va hold the voltage magnitude (p.u.) and angle (rad) of the
+	// initial operating point; solvers update copies, not the case data.
+	Vm, Va float64
+	// VMin and VMax are the operating voltage-magnitude limits in p.u.
+	VMin, VMax float64
+	// GS and BS are shunt conductance and susceptance in MW / MVAr
+	// injected at V = 1.0 p.u. (MATPOWER convention).
+	GS, BS float64
+	BaseKV float64
+	Area   int
+}
+
+// Load is a constant-power demand attached to a bus.
+type Load struct {
+	// Bus is the internal bus index.
+	Bus int
+	// P and Q are demand in MW and MVAr (positive = consumption).
+	P, Q      float64
+	InService bool
+}
+
+// CostCurve is a polynomial generation cost: Cost(P) = C2·P² + C1·P + C0
+// with P in MW and cost in $/h.
+type CostCurve struct {
+	C2, C1, C0 float64
+}
+
+// At evaluates the curve at p MW.
+func (c CostCurve) At(p float64) float64 { return (c.C2*p+c.C1)*p + c.C0 }
+
+// Marginal returns dCost/dP at p MW.
+func (c CostCurve) Marginal(p float64) float64 { return 2*c.C2*p + c.C1 }
+
+// Generator is a dispatchable source attached to a bus.
+type Generator struct {
+	// Bus is the internal bus index.
+	Bus int
+	// P and Q are the current dispatch in MW / MVAr.
+	P, Q float64
+	// Dispatch limits in MW / MVAr.
+	PMin, PMax float64
+	QMin, QMax float64
+	// VSetpoint is the regulated voltage magnitude in p.u. (PV buses).
+	VSetpoint float64
+	Cost      CostCurve
+	InService bool
+}
+
+// Branch is a transmission line or transformer modeled as a standard
+// pi-equivalent with an ideal tap-changing, phase-shifting transformer at
+// the from end.
+type Branch struct {
+	// From and To are internal bus indices.
+	From, To int
+	// R, X are series impedance and B the total line-charging susceptance,
+	// all in p.u. on the system MVA base.
+	R, X, B float64
+	// Tap is the off-nominal turns ratio; 0 means a plain line (ratio 1).
+	Tap float64
+	// Shift is the phase-shift angle in radians.
+	Shift float64
+	// RateMVA is the long-term thermal rating; 0 means unlimited.
+	RateMVA   float64
+	InService bool
+	// IsTransformer marks the branch as a transformer for reporting; the
+	// electrical model is identical apart from Tap/Shift.
+	IsTransformer bool
+}
+
+// Network is a complete power-system case.
+type Network struct {
+	// Name identifies the case, e.g. "case118".
+	Name string
+	// BaseMVA is the system power base for the per-unit system.
+	BaseMVA  float64
+	Buses    []Bus
+	Loads    []Load
+	Gens     []Generator
+	Branches []Branch
+}

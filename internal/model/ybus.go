@@ -1,0 +1,138 @@
+package model
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Ybus is the nodal admittance matrix together with the per-branch
+// two-port admittances needed for flow calculations:
+//
+//	[If]   [Yff Yft] [Vf]
+//	[It] = [Ytf Ytt] [Vt]
+//
+// The matrix is stored densely (cases up to 300 buses keep it small) but a
+// nonzero-pattern list is kept so Jacobian assembly can iterate only the
+// structural nonzeros.
+type Ybus struct {
+	N int
+	// Y holds the dense row-major admittance matrix.
+	Y []complex128
+	// Yff, Yft, Ytf, Ytt are indexed by branch position in the originating
+	// network's Branches slice; zero for out-of-service branches.
+	Yff, Yft, Ytf, Ytt []complex128
+	// NZ lists the structural nonzero coordinates (i, j), diagonal
+	// included, each exactly once.
+	NZ [][2]int
+}
+
+// At returns Y[i,j].
+func (y *Ybus) At(i, j int) complex128 { return y.Y[i*y.N+j] }
+
+// BuildYbus assembles the admittance matrix of the network's in-service
+// branches and bus shunts, following the standard pi-model with an ideal
+// tap/phase transformer at the from end (MATPOWER convention).
+func BuildYbus(n *Network) *Ybus {
+	nb := len(n.Buses)
+	nbr := len(n.Branches)
+	y := &Ybus{
+		N:   nb,
+		Y:   make([]complex128, nb*nb),
+		Yff: make([]complex128, nbr),
+		Yft: make([]complex128, nbr),
+		Ytf: make([]complex128, nbr),
+		Ytt: make([]complex128, nbr),
+	}
+	nzSet := make(map[[2]int]bool, nb+4*nbr)
+	add := func(i, j int, v complex128) {
+		y.Y[i*nb+j] += v
+		nzSet[[2]int{i, j}] = true
+	}
+	for i, b := range n.Buses {
+		// Bus shunts are specified as MW / MVAr at 1.0 p.u. voltage.
+		add(i, i, complex(b.GS/n.BaseMVA, b.BS/n.BaseMVA))
+	}
+	for k, br := range n.Branches {
+		if !br.InService {
+			continue
+		}
+		ys := 1 / complex(br.R, br.X)
+		bc := complex(0, br.B/2)
+		tap := br.Tap
+		if tap == 0 {
+			tap = 1
+		}
+		t := cmplx.Rect(tap, br.Shift)
+		y.Yff[k] = (ys + bc) / complex(tap*tap, 0)
+		y.Yft[k] = -ys / cmplx.Conj(t)
+		y.Ytf[k] = -ys / t
+		y.Ytt[k] = ys + bc
+		add(br.From, br.From, y.Yff[k])
+		add(br.From, br.To, y.Yft[k])
+		add(br.To, br.From, y.Ytf[k])
+		add(br.To, br.To, y.Ytt[k])
+	}
+	y.NZ = make([][2]int, 0, len(nzSet))
+	// Deterministic order: walk the dense matrix once.
+	for i := 0; i < nb; i++ {
+		for j := 0; j < nb; j++ {
+			if nzSet[[2]int{i, j}] {
+				y.NZ = append(y.NZ, [2]int{i, j})
+			}
+		}
+	}
+	return y
+}
+
+// BranchFlow returns the complex power flow in MVA entering the branch at
+// its from and to ends, given bus voltages in rectangular p.u. form.
+func (y *Ybus) BranchFlow(n *Network, k int, v []complex128) (sf, st complex128) {
+	br := n.Branches[k]
+	if !br.InService {
+		return 0, 0
+	}
+	vf, vt := v[br.From], v[br.To]
+	ifr := y.Yff[k]*vf + y.Yft[k]*vt
+	ito := y.Ytf[k]*vf + y.Ytt[k]*vt
+	base := complex(n.BaseMVA, 0)
+	return vf * cmplx.Conj(ifr) * base, vt * cmplx.Conj(ito) * base
+}
+
+// Injections returns the complex nodal power injections S = V ∘ conj(Y·V)
+// in per-unit for the bus voltage vector v.
+func (y *Ybus) Injections(v []complex128) []complex128 {
+	s := make([]complex128, y.N)
+	for i := 0; i < y.N; i++ {
+		var acc complex128
+		row := y.Y[i*y.N : (i+1)*y.N]
+		for j, yij := range row {
+			if yij != 0 {
+				acc += yij * v[j]
+			}
+		}
+		s[i] = v[i] * cmplx.Conj(acc)
+	}
+	return s
+}
+
+// VoltageVector builds the rectangular complex voltage vector from polar
+// magnitude and angle slices.
+func VoltageVector(vm, va []float64) []complex128 {
+	v := make([]complex128, len(vm))
+	for i := range vm {
+		v[i] = cmplx.Rect(vm[i], va[i])
+	}
+	return v
+}
+
+// PolarVoltages splits a rectangular voltage vector into magnitudes and
+// angles.
+func PolarVoltages(v []complex128) (vm, va []float64) {
+	vm = make([]float64, len(v))
+	va = make([]float64, len(v))
+	for i, x := range v {
+		vm[i] = cmplx.Abs(x)
+		va[i] = math.Atan2(imag(x), real(x))
+	}
+	return vm, va
+}

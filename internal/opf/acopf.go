@@ -1,0 +1,356 @@
+package opf
+
+import (
+	"fmt"
+
+	"gridmind/internal/model"
+	"gridmind/internal/sparse"
+)
+
+// acopf holds the assembled optimization problem for one network: the
+// variable layout is x = [Va(nb) ; Vm(nb) ; Pg(ng) ; Qg(ng)] in per-unit,
+// equalities are the 2·nb nodal power balances plus the slack-angle pin,
+// and inequalities are the squared branch MVA limits (both ends) followed
+// by the variable bounds.
+type acopf struct {
+	net  *model.Network
+	y    *model.Ybus
+	base float64
+	nb   int
+	// gens lists in-service generator indices; genOf[busIdx] are positions
+	// into gens.
+	gens  []int
+	genOf [][]int
+	// nbrs adjacency: for each bus, the neighboring buses with Y_ik ≠ 0.
+	nbrs [][]int
+	// rated lists in-service branches with a thermal rating.
+	rated []int
+	// bound rows: variable index with lower/upper values.
+	bounds []boundRow
+	slack  int
+}
+
+type boundRow struct {
+	v     int
+	val   float64
+	isLow bool // h = val − x[v] ≤ 0 for lower bounds, x[v] − val ≤ 0 otherwise
+}
+
+func (a *acopf) nx() int { return 2*a.nb + 2*len(a.gens) }
+func (a *acopf) ngEq() int {
+	return 2*a.nb + 1
+}
+func (a *acopf) nIneq() int {
+	return 2*len(a.rated) + len(a.bounds)
+}
+
+// variable index helpers
+func (a *acopf) ixVa(bus int) int { return bus }
+func (a *acopf) ixVm(bus int) int { return a.nb + bus }
+func (a *acopf) ixPg(g int) int   { return 2*a.nb + g }
+func (a *acopf) ixQg(g int) int   { return 2*a.nb + len(a.gens) + g }
+
+func newACOPF(n *model.Network) (*acopf, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	a := &acopf{net: n, y: model.BuildYbus(n), base: n.BaseMVA, nb: len(n.Buses), slack: n.SlackBus()}
+	a.genOf = make([][]int, a.nb)
+	for gi, g := range n.Gens {
+		if !g.InService {
+			continue
+		}
+		a.genOf[g.Bus] = append(a.genOf[g.Bus], len(a.gens))
+		a.gens = append(a.gens, gi)
+	}
+	if len(a.gens) == 0 {
+		return nil, fmt.Errorf("opf: %s has no in-service generators", n.Name)
+	}
+	a.nbrs = make([][]int, a.nb)
+	for _, nz := range a.y.NZ {
+		if nz[0] != nz[1] {
+			a.nbrs[nz[0]] = append(a.nbrs[nz[0]], nz[1])
+		}
+	}
+	for k, br := range n.Branches {
+		if br.InService && br.RateMVA > 0 {
+			a.rated = append(a.rated, k)
+		}
+	}
+	// Bounds: Vm for every bus, Pg and Qg for every in-service generator.
+	for i, b := range n.Buses {
+		a.bounds = append(a.bounds,
+			boundRow{v: a.ixVm(i), val: b.VMin, isLow: true},
+			boundRow{v: a.ixVm(i), val: b.VMax})
+	}
+	for p, gi := range a.gens {
+		g := n.Gens[gi]
+		a.bounds = append(a.bounds,
+			boundRow{v: a.ixPg(p), val: g.PMin / a.base, isLow: true},
+			boundRow{v: a.ixPg(p), val: g.PMax / a.base},
+			boundRow{v: a.ixQg(p), val: g.QMin / a.base, isLow: true},
+			boundRow{v: a.ixQg(p), val: g.QMax / a.base})
+	}
+	return a, nil
+}
+
+// initialPoint seeds the solver from the case's stored operating point —
+// or from a previous solution when warm-starting — nudged strictly inside
+// the bounds.
+func (a *acopf) initialPoint(start *Solution) []float64 {
+	x := make([]float64, a.nx())
+	warm := start != nil &&
+		len(start.Voltages.Vm) == a.nb && len(start.GenP) == len(a.net.Gens)
+	for i, b := range a.net.Buses {
+		vm, va := b.Vm, b.Va
+		if warm {
+			vm, va = start.Voltages.Vm[i], start.Voltages.Va[i]
+		}
+		x[a.ixVa(i)] = va
+		x[a.ixVm(i)] = clampInterior(vm, b.VMin, b.VMax)
+	}
+	for p, gi := range a.gens {
+		g := a.net.Gens[gi]
+		pg, qg := g.P, (g.QMin+g.QMax)/2
+		if warm {
+			pg, qg = start.GenP[gi], start.GenQ[gi]
+		}
+		x[a.ixPg(p)] = clampInterior(pg, g.PMin, g.PMax) / a.base
+		x[a.ixQg(p)] = clampInterior(qg, g.QMin, g.QMax) / a.base
+	}
+	return x
+}
+
+func clampInterior(v, lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	margin := 0.02 * (hi - lo)
+	if v < lo+margin {
+		return lo + margin
+	}
+	if v > hi-margin {
+		return hi - margin
+	}
+	return v
+}
+
+// eval computes objective, constraints and Jacobians at x.
+func (a *acopf) eval(x []float64) *nlpEval {
+	nb, base := a.nb, a.base
+	va := x[:nb]
+	vm := x[nb : 2*nb]
+	ev := &nlpEval{
+		Grad: make([]float64, a.nx()),
+		G:    make([]float64, a.ngEq()),
+		DG:   make([][]jentry, a.ngEq()),
+		H:    make([]float64, 0, a.nIneq()),
+		DH:   make([][]jentry, 0, a.nIneq()),
+	}
+
+	// Objective: generation cost in $/h over MW dispatch.
+	for p, gi := range a.gens {
+		g := a.net.Gens[gi]
+		pmw := x[a.ixPg(p)] * base
+		ev.F += g.Cost.At(pmw)
+		ev.Grad[a.ixPg(p)] = g.Cost.Marginal(pmw) * base
+	}
+
+	// Nodal balance: g_P[i] = P_i(V) − ΣPg + Pd ; g_Q analogous.
+	for i := 0; i < nb; i++ {
+		yii := a.y.At(i, i)
+		gii, bii := real(yii), imag(yii)
+		pi := gii * vm[i] * vm[i]
+		qi := -bii * vm[i] * vm[i]
+		rowP := []jentry{{a.ixVa(i), 0}, {a.ixVm(i), 2 * gii * vm[i]}}
+		rowQ := []jentry{{a.ixVa(i), 0}, {a.ixVm(i), -2 * bii * vm[i]}}
+		for _, k := range a.nbrs[i] {
+			yik := a.y.At(i, k)
+			gik, bik := real(yik), imag(yik)
+			tp := evalPair(gik, bik, vm[i], vm[k], va[i], va[k])
+			tq := evalPair(-bik, gik, vm[i], vm[k], va[i], va[k])
+			pi += tp.Val
+			qi += tq.Val
+			rowP[0].val += tp.Grad[0]
+			rowP[1].val += tp.Grad[2]
+			rowP = append(rowP, jentry{a.ixVa(k), tp.Grad[1]}, jentry{a.ixVm(k), tp.Grad[3]})
+			rowQ[0].val += tq.Grad[0]
+			rowQ[1].val += tq.Grad[2]
+			rowQ = append(rowQ, jentry{a.ixVa(k), tq.Grad[1]}, jentry{a.ixVm(k), tq.Grad[3]})
+		}
+		loadP, loadQ := a.net.BusLoad(i)
+		ev.G[i] = pi + loadP/base
+		ev.G[nb+i] = qi + loadQ/base
+		for _, p := range a.genOf[i] {
+			ev.G[i] -= x[a.ixPg(p)]
+			ev.G[nb+i] -= x[a.ixQg(p)]
+			rowP = append(rowP, jentry{a.ixPg(p), -1})
+			rowQ = append(rowQ, jentry{a.ixQg(p), -1})
+		}
+		ev.DG[i] = rowP
+		ev.DG[nb+i] = rowQ
+	}
+	// Slack angle pin.
+	ev.G[2*nb] = va[a.slack] - a.net.Buses[a.slack].Va
+	ev.DG[2*nb] = []jentry{{a.ixVa(a.slack), 1}}
+
+	// Branch MVA limits at both ends: |S|² − rate² ≤ 0 (p.u.).
+	for _, k := range a.rated {
+		hf, rf, ht, rt := a.flowConstraint(k, vm, va)
+		ev.H = append(ev.H, hf, ht)
+		ev.DH = append(ev.DH, rf, rt)
+	}
+	// Linear variable bounds.
+	for _, b := range a.bounds {
+		if b.isLow {
+			ev.H = append(ev.H, b.val-x[b.v])
+			ev.DH = append(ev.DH, []jentry{{b.v, -1}})
+		} else {
+			ev.H = append(ev.H, x[b.v]-b.val)
+			ev.DH = append(ev.DH, []jentry{{b.v, 1}})
+		}
+	}
+	return ev
+}
+
+// branchEnd captures one end's quantities for constraint assembly:
+// value/grad of P and Q over the block (θi, θk, Vi, Vk) where i is the
+// metered end.
+type branchEnd struct {
+	p, q   float64
+	gp, gq [4]float64
+	bi, bk int // bus indices of the block (i = metered end)
+}
+
+// endQuantities computes P/Q and gradients at one branch end. yii is the
+// self admittance at the metered end and yik the transfer admittance.
+func (a *acopf) endQuantities(bi, bk int, yii, yik complex128, vm, va []float64) branchEnd {
+	gii, bii := real(yii), imag(yii)
+	gik, bik := real(yik), imag(yik)
+	tp := evalPair(gik, bik, vm[bi], vm[bk], va[bi], va[bk])
+	tq := evalPair(-bik, gik, vm[bi], vm[bk], va[bi], va[bk])
+	e := branchEnd{bi: bi, bk: bk}
+	e.p = gii*vm[bi]*vm[bi] + tp.Val
+	e.q = -bii*vm[bi]*vm[bi] + tq.Val
+	e.gp = tp.Grad
+	e.gq = tq.Grad
+	e.gp[2] += 2 * gii * vm[bi]
+	e.gq[2] += -2 * bii * vm[bi]
+	return e
+}
+
+// flowConstraint returns h and its Jacobian row for the from and to ends
+// of rated branch k.
+func (a *acopf) flowConstraint(k int, vm, va []float64) (hf float64, rowF []jentry, ht float64, rowT []jentry) {
+	br := a.net.Branches[k]
+	rmax := br.RateMVA / a.base
+	r2 := rmax * rmax
+
+	from := a.endQuantities(br.From, br.To, a.y.Yff[k], a.y.Yft[k], vm, va)
+	to := a.endQuantities(br.To, br.From, a.y.Ytt[k], a.y.Ytf[k], vm, va)
+
+	mk := func(e branchEnd) (float64, []jentry) {
+		h := e.p*e.p + e.q*e.q - r2
+		cols := [4]int{a.ixVa(e.bi), a.ixVa(e.bk), a.ixVm(e.bi), a.ixVm(e.bk)}
+		row := make([]jentry, 0, 4)
+		for c := 0; c < 4; c++ {
+			row = append(row, jentry{cols[c], 2*e.p*e.gp[c] + 2*e.q*e.gq[c]})
+		}
+		return h, row
+	}
+	hf, rowF = mk(from)
+	ht, rowT = mk(to)
+	return hf, rowF, ht, rowT
+}
+
+// hessian assembles the Lagrangian Hessian ∇²f + Σλ∇²g + Σμ∇²h.
+func (a *acopf) hessian(x, lam, mu []float64) *sparse.COO {
+	nb, base := a.nb, a.base
+	va := x[:nb]
+	vm := x[nb : 2*nb]
+	hss := sparse.NewCOO(a.nx(), a.nx())
+
+	// Objective: 2·c2·base² on the Pg diagonal.
+	for p, gi := range a.gens {
+		c2 := a.net.Gens[gi].Cost.C2
+		hss.Add(a.ixPg(p), a.ixPg(p), 2*c2*base*base)
+	}
+
+	// Equality part: weighted second derivatives of nodal injections.
+	for i := 0; i < nb; i++ {
+		lp, lq := lam[i], lam[nb+i]
+		if lp == 0 && lq == 0 {
+			continue
+		}
+		yii := a.y.At(i, i)
+		hss.Add(a.ixVm(i), a.ixVm(i), lp*2*real(yii)+lq*(-2*imag(yii)))
+		for _, k := range a.nbrs[i] {
+			yik := a.y.At(i, k)
+			gik, bik := real(yik), imag(yik)
+			tp := evalPair(gik, bik, vm[i], vm[k], va[i], va[k])
+			tq := evalPair(-bik, gik, vm[i], vm[k], va[i], va[k])
+			cols := [4]int{a.ixVa(i), a.ixVa(k), a.ixVm(i), a.ixVm(k)}
+			addBlock(hss, cols, &tp.Hess, lp)
+			addBlock(hss, cols, &tq.Hess, lq)
+		}
+	}
+
+	// Inequality part: flow constraints only (bounds are linear). The mu
+	// layout matches eval: two rows per rated branch, then bounds.
+	for ri, k := range a.rated {
+		muF, muT := mu[2*ri], mu[2*ri+1]
+		br := a.net.Branches[k]
+		if muF != 0 {
+			a.addFlowHessian(hss, br.From, br.To, a.y.Yff[k], a.y.Yft[k], muF, vm, va)
+		}
+		if muT != 0 {
+			a.addFlowHessian(hss, br.To, br.From, a.y.Ytt[k], a.y.Ytf[k], muT, vm, va)
+		}
+	}
+	return hss
+}
+
+// addFlowHessian accumulates w·∇²(P²+Q²) for one branch end:
+// ∇²h = 2(∇P∇Pᵀ + P∇²P + ∇Q∇Qᵀ + Q∇²Q).
+func (a *acopf) addFlowHessian(hss *sparse.COO, bi, bk int, yii, yik complex128, w float64, vm, va []float64) {
+	gii, bii := real(yii), imag(yii)
+	gik, bik := real(yik), imag(yik)
+	tp := evalPair(gik, bik, vm[bi], vm[bk], va[bi], va[bk])
+	tq := evalPair(-bik, gik, vm[bi], vm[bk], va[bi], va[bk])
+
+	p := gii*vm[bi]*vm[bi] + tp.Val
+	q := -bii*vm[bi]*vm[bi] + tq.Val
+	gp := tp.Grad
+	gq := tq.Grad
+	gp[2] += 2 * gii * vm[bi]
+	gq[2] += -2 * bii * vm[bi]
+	// Self-admittance quadratic adds to the (Vi, Vi) second derivative.
+	hp := tp.Hess
+	hq := tq.Hess
+	hp[2][2] += 2 * gii
+	hq[2][2] += -2 * bii
+
+	cols := [4]int{a.ixVa(bi), a.ixVa(bk), a.ixVm(bi), a.ixVm(bk)}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			v := 2 * (gp[r]*gp[c] + p*hp[r][c] + gq[r]*gq[c] + q*hq[r][c])
+			if v != 0 {
+				hss.Add(cols[r], cols[c], w*v)
+			}
+		}
+	}
+}
+
+// addBlock accumulates w·H over the 4-variable block.
+func addBlock(hss *sparse.COO, cols [4]int, h *[4][4]float64, w float64) {
+	if w == 0 {
+		return
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if h[r][c] != 0 {
+				hss.Add(cols[r], cols[c], w*h[r][c])
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package opf
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gridmind/internal/model"
+	"gridmind/internal/powerflow"
+	"gridmind/internal/sparse"
+)
+
+// SolveDCOPF solves the linearized DC optimal power flow on the same
+// interior-point core as the AC problem: variables [θ; Pg], nodal balance
+// B·θ = Pg − Pd, symmetric flow limits on rated branches and generator
+// limits. It is used as the screening baseline in comparative studies.
+func SolveDCOPF(n *model.Network, opts Options) (*Solution, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	base := n.BaseMVA
+	nb := len(n.Buses)
+	var gens []int
+	genOf := make([][]int, nb)
+	for gi, g := range n.Gens {
+		if !g.InService {
+			continue
+		}
+		genOf[g.Bus] = append(genOf[g.Bus], len(gens))
+		gens = append(gens, gi)
+	}
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("opf: %s has no in-service generators", n.Name)
+	}
+	slack := n.SlackBus()
+
+	type branchRow struct {
+		k    int
+		b    float64 // susceptance 1/x
+		rate float64 // p.u.
+	}
+	var rated []branchRow
+	for k, br := range n.Branches {
+		if br.InService && br.X != 0 && br.RateMVA > 0 {
+			rated = append(rated, branchRow{k: k, b: 1 / br.X, rate: br.RateMVA / base})
+		}
+	}
+
+	ixTh := func(i int) int { return i }
+	ixPg := func(p int) int { return nb + p }
+	nx := nb + len(gens)
+	ng := nb + 1
+	nh := 2*len(rated) + 2*len(gens)
+
+	// Precompute constant Jacobians: balance rows B_i·θ − ΣPg + Pd.
+	adj := make([][]jentry, nb) // per-bus θ-entries of the balance row
+	for _, br := range n.Branches {
+		if !br.InService || br.X == 0 {
+			continue
+		}
+		b := 1 / br.X
+		f, t := br.From, br.To
+		adj[f] = append(adj[f], jentry{ixTh(f), b}, jentry{ixTh(t), -b})
+		adj[t] = append(adj[t], jentry{ixTh(t), b}, jentry{ixTh(f), -b})
+	}
+
+	x0 := make([]float64, nx)
+	for p, gi := range gens {
+		g := n.Gens[gi]
+		x0[ixPg(p)] = clampInterior(g.P, g.PMin, g.PMax) / base
+	}
+
+	eval := func(x []float64) *nlpEval {
+		ev := &nlpEval{
+			Grad: make([]float64, nx),
+			G:    make([]float64, ng),
+			DG:   make([][]jentry, ng),
+			H:    make([]float64, 0, nh),
+			DH:   make([][]jentry, 0, nh),
+		}
+		for p, gi := range gens {
+			g := n.Gens[gi]
+			pmw := x[ixPg(p)] * base
+			ev.F += g.Cost.At(pmw)
+			ev.Grad[ixPg(p)] = g.Cost.Marginal(pmw) * base
+		}
+		for i := 0; i < nb; i++ {
+			var bal float64
+			row := make([]jentry, 0, len(adj[i])+len(genOf[i]))
+			for _, e := range adj[i] {
+				bal += e.val * x[e.col]
+				row = append(row, e)
+			}
+			loadP, _ := n.BusLoad(i)
+			bal += loadP / base
+			for _, p := range genOf[i] {
+				bal -= x[ixPg(p)]
+				row = append(row, jentry{ixPg(p), -1})
+			}
+			ev.G[i] = bal
+			ev.DG[i] = row
+		}
+		ev.G[nb] = x[ixTh(slack)]
+		ev.DG[nb] = []jentry{{ixTh(slack), 1}}
+
+		for _, br := range rated {
+			f, t := n.Branches[br.k].From, n.Branches[br.k].To
+			flow := br.b * (x[ixTh(f)] - x[ixTh(t)] - n.Branches[br.k].Shift)
+			ev.H = append(ev.H, flow-br.rate, -flow-br.rate)
+			ev.DH = append(ev.DH,
+				[]jentry{{ixTh(f), br.b}, {ixTh(t), -br.b}},
+				[]jentry{{ixTh(f), -br.b}, {ixTh(t), br.b}})
+		}
+		for p, gi := range gens {
+			g := n.Gens[gi]
+			ev.H = append(ev.H, g.PMin/base-x[ixPg(p)], x[ixPg(p)]-g.PMax/base)
+			ev.DH = append(ev.DH, []jentry{{ixPg(p), -1}}, []jentry{{ixPg(p), 1}})
+		}
+		return ev
+	}
+	hess := func(x, lam, mu []float64) *sparse.COO {
+		h := sparse.NewCOO(nx, nx)
+		for p, gi := range gens {
+			h.Add(ixPg(p), ixPg(p), 2*n.Gens[gi].Cost.C2*base*base)
+		}
+		// Keep θ diagonal structurally nonzero: the DC objective has no
+		// curvature there, curvature comes only via constraints.
+		for i := 0; i < nb; i++ {
+			h.Add(ixTh(i), ixTh(i), 0)
+		}
+		return h
+	}
+
+	res, ipmErr := solveIPM(&nlp{nx: nx, ng: ng, nh: nh, x0: x0, eval: eval, hess: hess}, ipmOptions{
+		FeasTol: opts.FeasTol, GradTol: opts.GradTol,
+		CompTol: opts.CompTol, CostTol: opts.CostTol,
+		MaxIter: opts.MaxIter,
+	})
+
+	sol := &Solution{
+		CaseName:           n.Name,
+		Solved:             res.Converged,
+		Method:             MethodDCOPF,
+		Iterations:         res.Iterations,
+		ObjectiveCost:      res.F,
+		ConvergenceMessage: res.Message,
+		GenP:               make([]float64, len(n.Gens)),
+		GenQ:               make([]float64, len(n.Gens)),
+		LMP:                make([]float64, nb),
+		SolvedAt:           time.Now().UTC(),
+	}
+	if res.X != nil {
+		vm := make([]float64, nb)
+		for i := range vm {
+			vm[i] = 1
+		}
+		sol.Voltages = powerflow.VoltageProfile{Vm: vm, Va: append([]float64(nil), res.X[:nb]...)}
+		sol.MinVoltagePU, sol.MaxVoltagePU = 1, 1
+		for p, gi := range gens {
+			sol.GenP[gi] = res.X[ixPg(p)] * base
+		}
+		for i := 0; i < nb; i++ {
+			sol.LMP[i] = res.Lam[i] / base
+		}
+		sol.Flows = make([]powerflow.BranchFlow, len(n.Branches))
+		for k, br := range n.Branches {
+			f := powerflow.BranchFlow{Branch: k}
+			if br.InService && br.X != 0 {
+				pf := (res.X[ixTh(br.From)] - res.X[ixTh(br.To)] - br.Shift) / br.X * base
+				f.FromP, f.ToP = pf, -pf
+				if br.RateMVA > 0 {
+					f.LoadingPct = 100 * math.Abs(pf) / br.RateMVA
+					if f.LoadingPct > sol.MaxThermalLoading {
+						sol.MaxThermalLoading = f.LoadingPct
+					}
+					if f.LoadingPct > 99.5 {
+						sol.BindingFlowLimits++
+					}
+				}
+			}
+			sol.Flows[k] = f
+		}
+		var maxMis float64
+		ev := eval(res.X)
+		for i := 0; i < nb; i++ {
+			maxMis = math.Max(maxMis, math.Abs(ev.G[i]))
+		}
+		sol.MaxMismatchPU = maxMis
+	}
+	if ipmErr != nil {
+		return sol, fmt.Errorf("opf: %s dcopf: %w", n.Name, ipmErr)
+	}
+	return sol, nil
+}

@@ -1,0 +1,317 @@
+package opf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gridmind/internal/sparse"
+)
+
+// jentry is one Jacobian row entry: coefficient val at variable col.
+type jentry struct {
+	col int
+	val float64
+}
+
+// nlpEval carries a full problem evaluation at one point: objective with
+// gradient, equality constraints g(x)=0 and inequality constraints h(x)≤0
+// with row-wise sparse Jacobians.
+type nlpEval struct {
+	F    float64
+	Grad []float64
+	G    []float64
+	DG   [][]jentry
+	H    []float64
+	DH   [][]jentry
+}
+
+// nlp describes min f(x) s.t. g(x)=0, h(x)≤0 for the interior-point core.
+type nlp struct {
+	nx, ng, nh int
+	x0         []float64
+	eval       func(x []float64) *nlpEval
+	// hess returns the Hessian of the Lagrangian ∇²f + Σλᵢ∇²gᵢ + Σμᵢ∇²hᵢ
+	// as a full symmetric triplet matrix.
+	hess func(x, lam, mu []float64) *sparse.COO
+}
+
+// ipmOptions tunes the primal-dual interior-point solver. Zero values
+// select the MIPS defaults.
+type ipmOptions struct {
+	FeasTol, GradTol, CompTol, CostTol float64
+	MaxIter                            int
+}
+
+func (o *ipmOptions) fill() {
+	if o.FeasTol == 0 {
+		o.FeasTol = 1e-6
+	}
+	if o.GradTol == 0 {
+		o.GradTol = 1e-6
+	}
+	if o.CompTol == 0 {
+		o.CompTol = 1e-6
+	}
+	if o.CostTol == 0 {
+		o.CostTol = 1e-6
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 150
+	}
+}
+
+// ipmResult is the raw solver outcome before domain interpretation.
+type ipmResult struct {
+	X, Lam, Mu, Z []float64
+	F             float64
+	Iterations    int
+	Converged     bool
+	FeasCond      float64
+	GradCond      float64
+	CompCond      float64
+	Message       string
+}
+
+// errNumerical reports a numerical breakdown inside the IPM.
+var errNumerical = errors.New("opf: numerical failure in interior-point step")
+
+// solveIPM runs the MIPS-style primal-dual interior-point method
+// (Wang, Murillo-Sánchez, Zimmerman & Thomas): slack variables z>0 turn
+// h(x)≤0 into h(x)+z=0, a log barrier with parameter γ enforces z>0, and
+// each step solves the reduced KKT system
+//
+//	[ M  dgᵀ ] [Δx  ]   [ −N ]
+//	[ dg  0  ] [Δλ  ] = [ −g ]
+//
+// with M = ∇²L + dhᵀ·diag(μ/z)·dh and N = ∇L + dhᵀ·(γ + μ∘h)/z.
+func solveIPM(p *nlp, opts ipmOptions) (*ipmResult, error) {
+	opts.fill()
+	const (
+		sigma = 0.1     // centering parameter
+		xi    = 0.99995 // fraction-to-boundary
+		z0    = 1.0
+		gam0  = 1.0
+	)
+	nx, ng, nh := p.nx, p.ng, p.nh
+
+	x := append([]float64(nil), p.x0...)
+	lam := make([]float64, ng)
+	z := make([]float64, nh)
+	mu := make([]float64, nh)
+
+	ev := p.eval(x)
+	for r := 0; r < nh; r++ {
+		z[r] = z0
+		if ev.H[r] < -z0 {
+			z[r] = -ev.H[r]
+		}
+		mu[r] = z0
+		if gam0/z[r] > z0 {
+			mu[r] = gam0 / z[r]
+		}
+	}
+	gamma := gam0
+	if nh > 0 {
+		gamma = sigma * dotVec(z, mu) / float64(nh)
+	}
+
+	res := &ipmResult{}
+	fOld := math.Inf(1)
+	var colPerm []int // fill-reducing order, reused across iterations
+	for iter := 0; iter <= opts.MaxIter; iter++ {
+		// Lagrangian gradient Lx = ∇f + dgᵀλ + dhᵀμ.
+		lx := append([]float64(nil), ev.Grad...)
+		addJTVec(lx, ev.DG, lam)
+		addJTVec(lx, ev.DH, mu)
+
+		// Convergence measures (MIPS normalizations).
+		maxH := math.Inf(-1)
+		if nh == 0 {
+			maxH = 0
+		}
+		for _, h := range ev.H {
+			if h > maxH {
+				maxH = h
+			}
+		}
+		feas := math.Max(normInf(ev.G), maxH) / (1 + math.Max(normInf(x), normInf(z)))
+		grad := normInf(lx) / (1 + math.Max(normInf(lam), normInf(mu)))
+		comp := 0.0
+		if nh > 0 {
+			comp = dotVec(z, mu) / (1 + normInf(x))
+		}
+		cost := math.Abs(ev.F-fOld) / (1 + math.Abs(fOld))
+		res.Iterations = iter
+		res.FeasCond, res.GradCond, res.CompCond = feas, grad, comp
+		if feas < opts.FeasTol && grad < opts.GradTol && comp < opts.CompTol && cost < opts.CostTol {
+			res.Converged = true
+			res.Message = fmt.Sprintf("converged in %d iterations", iter)
+			break
+		}
+		if iter == opts.MaxIter {
+			res.Message = fmt.Sprintf("iteration limit %d reached (feas %.2e grad %.2e comp %.2e)",
+				opts.MaxIter, feas, grad, comp)
+			break
+		}
+		fOld = ev.F
+
+		// Reduced KKT assembly.
+		kkt := sparse.NewCOO(nx+ng, nx+ng)
+		hessCOO := p.hess(x, lam, mu)
+		appendCOO(kkt, hessCOO, 0, 0)
+		n := append([]float64(nil), lx...)
+		for r := 0; r < nh; r++ {
+			w := mu[r] / z[r]
+			row := ev.DH[r]
+			for _, a := range row {
+				for _, b := range row {
+					kkt.Add(a.col, b.col, w*a.val*b.val)
+				}
+			}
+			coef := (gamma + mu[r]*ev.H[r]) / z[r]
+			for _, a := range row {
+				n[a.col] += coef * a.val
+			}
+		}
+		for i, row := range ev.DG {
+			for _, a := range row {
+				kkt.Add(nx+i, a.col, a.val)
+				kkt.Add(a.col, nx+i, a.val)
+			}
+			// Keep the diagonal structurally present for robustness.
+			kkt.Add(nx+i, nx+i, 0)
+		}
+		rhs := make([]float64, nx+ng)
+		for i := range n {
+			rhs[i] = -n[i]
+		}
+		for i, g := range ev.G {
+			rhs[nx+i] = -g
+		}
+		kktCSC := kkt.ToCSC()
+		if colPerm == nil {
+			// The KKT sparsity pattern is essentially constant across
+			// iterations (same constraint structure), so the RCM order
+			// can be computed once and reused.
+			colPerm = sparse.RCM(kktCSC)
+		}
+		lu, err := sparse.Factorize(kktCSC, sparse.Options{ColPerm: colPerm})
+		if err != nil {
+			res.Message = "singular KKT system: " + err.Error()
+			return res, fmt.Errorf("%w: %s", errNumerical, res.Message)
+		}
+		sol, err := lu.Solve(rhs)
+		if err != nil {
+			res.Message = "singular KKT system: " + err.Error()
+			return res, fmt.Errorf("%w: %s", errNumerical, res.Message)
+		}
+		dx := sol[:nx]
+		dlam := sol[nx:]
+		if hasNaN(dx) || hasNaN(dlam) {
+			res.Message = "NaN in Newton direction"
+			return res, fmt.Errorf("%w: %s", errNumerical, res.Message)
+		}
+
+		// Slack and multiplier directions.
+		dz := make([]float64, nh)
+		dmu := make([]float64, nh)
+		for r := 0; r < nh; r++ {
+			d := -ev.H[r] - z[r]
+			for _, a := range ev.DH[r] {
+				d -= a.val * dx[a.col]
+			}
+			dz[r] = d
+			dmu[r] = -mu[r] + (gamma-mu[r]*d)/z[r]
+		}
+
+		// Fraction-to-boundary step lengths.
+		alphaP, alphaD := 1.0, 1.0
+		for r := 0; r < nh; r++ {
+			if dz[r] < 0 {
+				if a := -xi * z[r] / dz[r]; a < alphaP {
+					alphaP = a
+				}
+			}
+			if dmu[r] < 0 {
+				if a := -xi * mu[r] / dmu[r]; a < alphaD {
+					alphaD = a
+				}
+			}
+		}
+		for i := range x {
+			x[i] += alphaP * dx[i]
+		}
+		for r := 0; r < nh; r++ {
+			z[r] += alphaP * dz[r]
+		}
+		for i := range lam {
+			lam[i] += alphaD * dlam[i]
+		}
+		for r := 0; r < nh; r++ {
+			mu[r] += alphaD * dmu[r]
+		}
+		if nh > 0 {
+			gamma = sigma * dotVec(z, mu) / float64(nh)
+		}
+		ev = p.eval(x)
+		if math.IsNaN(ev.F) {
+			res.Message = "objective became NaN"
+			return res, fmt.Errorf("%w: %s", errNumerical, res.Message)
+		}
+	}
+
+	res.X, res.Lam, res.Mu, res.Z = x, lam, mu, z
+	res.F = ev.F
+	if !res.Converged {
+		return res, fmt.Errorf("opf: interior point did not converge: %s", res.Message)
+	}
+	return res, nil
+}
+
+func dotVec(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func normInf(a []float64) float64 {
+	var m float64
+	for _, v := range a {
+		if x := math.Abs(v); x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func hasNaN(a []float64) bool {
+	for _, v := range a {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// addJTVec accumulates Jᵀ·w into out for a row-wise Jacobian.
+func addJTVec(out []float64, rows [][]jentry, w []float64) {
+	for r, row := range rows {
+		wr := w[r]
+		if wr == 0 {
+			continue
+		}
+		for _, a := range row {
+			out[a.col] += wr * a.val
+		}
+	}
+}
+
+// appendCOO copies src triplets into dst with the given offsets.
+func appendCOO(dst, src *sparse.COO, rowOff, colOff int) {
+	src.Each(func(i, j int, v float64) {
+		dst.Add(i+rowOff, j+colOff, v)
+	})
+}

@@ -1,0 +1,55 @@
+// Package opf implements optimal power flow solvers: a primal-dual
+// interior-point AC OPF (the Go counterpart of the PYPOWER/MATPOWER solver
+// the paper invokes through pandapower's runopp), a DC OPF on the same
+// interior-point core, and an economic-dispatch + power-flow fallback used
+// by the agents' automatic recovery path.
+package opf
+
+import "math"
+
+// pairTerm evaluates u = Vi·Vk·(A·cosθ + B·sinθ) with θ = θi − θk, along
+// with its gradient and Hessian over the variable block (θi, θk, Vi, Vk).
+//
+// Every trigonometric quantity in the polar OPF reduces to this form:
+//
+//	active injection  P_ik: A = G_ik,  B = B_ik
+//	reactive injection Q_ik: A = −B_ik, B = G_ik
+//	branch flows Pf/Qf, Pt/Qt: same with the two-port admittances
+//
+// so one audited derivation covers all constraint derivatives. The block
+// order is fixed: index 0=θi, 1=θk, 2=Vi, 3=Vk.
+type pairTerm struct {
+	Val  float64
+	Grad [4]float64
+	Hess [4][4]float64
+}
+
+// evalPair computes the term. The Hessian is symmetric and fully filled.
+func evalPair(a, b, vi, vk, thi, thk float64) pairTerm {
+	th := thi - thk
+	c, s := math.Cos(th), math.Sin(th)
+	e := a*c + b*s  // the trig kernel
+	d := -a*s + b*c // de/dθi
+	vv := vi * vk
+
+	var t pairTerm
+	t.Val = vv * e
+	t.Grad = [4]float64{vv * d, -vv * d, vk * e, vi * e}
+
+	// dd/dθi = −e; symmetry in θk with opposite signs.
+	t.Hess[0][0] = -vv * e
+	t.Hess[0][1] = vv * e
+	t.Hess[1][1] = -vv * e
+	t.Hess[0][2] = vk * d
+	t.Hess[0][3] = vi * d
+	t.Hess[1][2] = -vk * d
+	t.Hess[1][3] = -vi * d
+	t.Hess[2][3] = e
+	// Mirror to the lower triangle.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < i; j++ {
+			t.Hess[i][j] = t.Hess[j][i]
+		}
+	}
+	return t
+}

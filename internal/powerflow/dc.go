@@ -1,0 +1,130 @@
+package powerflow
+
+import (
+	"math"
+
+	"gridmind/internal/model"
+	"gridmind/internal/sparse"
+)
+
+// solveDC runs the linear DC power flow: flat voltage magnitudes, angles
+// from B·θ = P with branch susceptances 1/x, lossless flows. It is exact
+// for the linearized model and always "converges" when the network is
+// connected; the contingency engine uses it for fast screening before the
+// full AC verification pass.
+func solveDC(n *model.Network) (*Result, error) {
+	c, err := classify(n)
+	if err != nil {
+		return nil, err
+	}
+	nb := len(n.Buses)
+	aPos := make([]int, nb)
+	for i := range aPos {
+		aPos[i] = -1
+	}
+	na := 0
+	for i := 0; i < nb; i++ {
+		if i != c.slack {
+			aPos[i] = na
+			na++
+		}
+	}
+
+	b := sparse.NewCOO(na, na)
+	// pShift accumulates equivalent injections from phase shifters.
+	pShift := make([]float64, nb)
+	for _, br := range n.Branches {
+		if !br.InService || br.X == 0 {
+			continue
+		}
+		bb := 1 / br.X
+		f, t := br.From, br.To
+		if br.Shift != 0 {
+			pShift[f] -= bb * br.Shift
+			pShift[t] += bb * br.Shift
+		}
+		if aPos[f] >= 0 {
+			b.Add(aPos[f], aPos[f], bb)
+		}
+		if aPos[t] >= 0 {
+			b.Add(aPos[t], aPos[t], bb)
+		}
+		if aPos[f] >= 0 && aPos[t] >= 0 {
+			b.Add(aPos[f], aPos[t], -bb)
+			b.Add(aPos[t], aPos[f], -bb)
+		}
+	}
+	rhs := make([]float64, na)
+	for i := 0; i < nb; i++ {
+		if aPos[i] >= 0 {
+			rhs[aPos[i]] = c.pSpec[i] + pShift[i]
+		}
+	}
+	theta := make([]float64, nb)
+	if na > 0 {
+		x, err := sparse.SolveCSC(b.ToCSC(), rhs, sparse.Options{})
+		if err != nil {
+			return &Result{Algorithm: DC}, err
+		}
+		for i := 0; i < nb; i++ {
+			if aPos[i] >= 0 {
+				theta[i] = x[aPos[i]]
+			}
+		}
+	}
+
+	res := &Result{
+		Converged:  true,
+		Iterations: 1,
+		Algorithm:  DC,
+	}
+	vm := make([]float64, nb)
+	for i := range vm {
+		vm[i] = 1
+	}
+	res.Voltages = VoltageProfile{Vm: vm, Va: theta}
+	res.MinVm, res.MaxVm = 1, 1
+
+	res.Flows = make([]BranchFlow, len(n.Branches))
+	slackInj := 0.0
+	for k, br := range n.Branches {
+		f := BranchFlow{Branch: k}
+		if br.InService && br.X != 0 {
+			pf := (theta[br.From] - theta[br.To] - br.Shift) / br.X * n.BaseMVA
+			f.FromP, f.ToP = pf, -pf
+			if br.RateMVA > 0 {
+				f.LoadingPct = 100 * math.Abs(pf) / br.RateMVA
+			}
+			if br.From == c.slack {
+				slackInj += pf
+			}
+			if br.To == c.slack {
+				slackInj -= pf
+			}
+		}
+		res.Flows[k] = f
+	}
+
+	// Generator active allocation: setpoints everywhere, slack picks up
+	// the residual; DC has no reactive solution.
+	res.GenP = make([]float64, len(n.Gens))
+	res.GenQ = make([]float64, len(n.Gens))
+	loadP, _ := n.BusLoad(c.slack)
+	slackGen := slackInj + loadP
+	gens := n.GensAtBus(c.slack)
+	var pCap float64
+	for _, g := range gens {
+		pCap += math.Max(n.Gens[g].PMax, 1e-9)
+	}
+	for g, gen := range n.Gens {
+		if !gen.InService {
+			continue
+		}
+		if gen.Bus == c.slack {
+			res.GenP[g] = slackGen * math.Max(gen.PMax, 1e-9) / pCap
+		} else {
+			res.GenP[g] = gen.P
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,182 @@
+package powerflow
+
+import (
+	"math"
+
+	"gridmind/internal/model"
+	"gridmind/internal/sparse"
+)
+
+// newtonInner runs full Newton-Raphson iterations for a fixed PV/PQ split.
+// The unknown vector is [Va at non-slack buses; Vm at PQ buses]; the
+// Jacobian is assembled in triplet form from the Ybus structural nonzeros
+// and solved with the sparse LU.
+func newtonInner(n *model.Network, y *model.Ybus, c *classification, vm, va []float64, opts Options) (int, float64, bool, error) {
+	nb := len(n.Buses)
+	// Index maps: bus -> position in the angle block / magnitude block.
+	aPos := make([]int, nb)
+	mPos := make([]int, nb)
+	for i := range aPos {
+		aPos[i], mPos[i] = -1, -1
+	}
+	na := 0
+	for i := 0; i < nb; i++ {
+		if i != c.slack {
+			aPos[i] = na
+			na++
+		}
+	}
+	nm := 0
+	for _, i := range c.pq {
+		mPos[i] = na + nm
+		nm++
+	}
+	dim := na + nm
+	if dim == 0 {
+		return 0, 0, true, nil
+	}
+
+	isPQ := make([]bool, nb)
+	for _, i := range c.pq {
+		isPQ[i] = true
+	}
+
+	rhs := make([]float64, dim)
+	var colPerm []int // reuse the fill-reducing order across iterations
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		p, q := injections(y, vm, va)
+		maxMis := mismatchInto(c, isPQ, aPos, mPos, p, q, rhs)
+		if maxMis < opts.Tol {
+			return iter - 1, maxMis, true, nil
+		}
+
+		jac := assembleJacobian(y, aPos, mPos, vm, va, p, q, dim)
+		if colPerm == nil {
+			colPerm = sparse.RCM(jac)
+		}
+		lu, err := sparse.Factorize(jac, sparse.Options{ColPerm: colPerm})
+		if err != nil {
+			return iter, maxMis, false, err
+		}
+		dx, err := lu.Solve(rhs)
+		if err != nil {
+			return iter, maxMis, false, err
+		}
+		for i := 0; i < nb; i++ {
+			if aPos[i] >= 0 {
+				va[i] = angleWrap(va[i] + dx[aPos[i]])
+			}
+			if mPos[i] >= 0 {
+				vm[i] += dx[mPos[i]]
+				if vm[i] < 1e-3 {
+					vm[i] = 1e-3 // keep magnitudes physical during iteration
+				}
+			}
+		}
+	}
+	p, q := injections(y, vm, va)
+	maxMis := mismatchInto(c, isPQ, aPos, mPos, p, q, rhs)
+	return opts.MaxIter, maxMis, maxMis < opts.Tol, nil
+}
+
+// injections evaluates real and reactive nodal injections in p.u. for the
+// polar voltage state, iterating only structural nonzeros.
+func injections(y *model.Ybus, vm, va []float64) (p, q []float64) {
+	nb := y.N
+	p = make([]float64, nb)
+	q = make([]float64, nb)
+	for _, nz := range y.NZ {
+		i, j := nz[0], nz[1]
+		yij := y.At(i, j)
+		g, b := real(yij), imag(yij)
+		if g == 0 && b == 0 {
+			continue
+		}
+		th := va[i] - va[j]
+		ct, st := math.Cos(th), math.Sin(th)
+		vv := vm[i] * vm[j]
+		p[i] += vv * (g*ct + b*st)
+		q[i] += vv * (g*st - b*ct)
+	}
+	return p, q
+}
+
+// mismatchInto writes [ΔP; ΔQ] into rhs and returns the max abs mismatch.
+func mismatchInto(c *classification, isPQ []bool, aPos, mPos []int, p, q, rhs []float64) float64 {
+	var maxMis float64
+	for i := range p {
+		if aPos[i] >= 0 {
+			d := c.pSpec[i] - p[i]
+			rhs[aPos[i]] = d
+			if a := math.Abs(d); a > maxMis {
+				maxMis = a
+			}
+		}
+		if mPos[i] >= 0 {
+			d := c.qSpec[i] - q[i]
+			rhs[mPos[i]] = d
+			if a := math.Abs(d); a > maxMis {
+				maxMis = a
+			}
+		}
+	}
+	return maxMis
+}
+
+// assembleJacobian builds the polar power flow Jacobian
+//
+//	[ dP/dVa  dP/dVm ]
+//	[ dQ/dVa  dQ/dVm ]
+//
+// restricted to non-slack angles and PQ magnitudes.
+func assembleJacobian(y *model.Ybus, aPos, mPos []int, vm, va, p, q []float64, dim int) *sparse.CSC {
+	coo := sparse.NewCOO(dim, dim)
+	for _, nz := range y.NZ {
+		i, j := nz[0], nz[1]
+		yij := y.At(i, j)
+		g, b := real(yij), imag(yij)
+		if i == j {
+			vi := vm[i]
+			if aPos[i] >= 0 {
+				// dP_i/dVa_i, dP_i/dVm_i
+				coo.Add(aPos[i], aPos[i], -q[i]-b*vi*vi)
+				if mPos[i] >= 0 {
+					coo.Add(aPos[i], mPos[i], p[i]/vi+g*vi)
+				}
+			}
+			if mPos[i] >= 0 {
+				// dQ_i/dVa_i, dQ_i/dVm_i
+				if aPos[i] >= 0 {
+					coo.Add(mPos[i], aPos[i], p[i]-g*vi*vi)
+				}
+				coo.Add(mPos[i], mPos[i], q[i]/vi-b*vi)
+			}
+			continue
+		}
+		th := va[i] - va[j]
+		ct, st := math.Cos(th), math.Sin(th)
+		vij := vm[i] * vm[j]
+		// Off-diagonal partials.
+		dPdA := vij * (g*st - b*ct)   // dP_i/dVa_j
+		dPdM := vm[i] * (g*ct + b*st) // dP_i/dVm_j
+		dQdA := -vij * (g*ct + b*st)  // dQ_i/dVa_j
+		dQdM := vm[i] * (g*st - b*ct) // dQ_i/dVm_j
+		if aPos[i] >= 0 {
+			if aPos[j] >= 0 {
+				coo.Add(aPos[i], aPos[j], dPdA)
+			}
+			if mPos[j] >= 0 {
+				coo.Add(aPos[i], mPos[j], dPdM)
+			}
+		}
+		if mPos[i] >= 0 {
+			if aPos[j] >= 0 {
+				coo.Add(mPos[i], aPos[j], dQdA)
+			}
+			if mPos[j] >= 0 {
+				coo.Add(mPos[i], mPos[j], dQdM)
+			}
+		}
+	}
+	return coo.ToCSC()
+}

@@ -1,0 +1,390 @@
+// Package powerflow implements steady-state AC and DC power flow solvers:
+// full Newton-Raphson in polar coordinates (the default), a fast-decoupled
+// (XB) variant used as the automatic recovery fallback, and a linear DC
+// power flow used for screening.
+//
+// This package is the Go counterpart of pandapower's runpp, which the paper
+// registers as the deterministic power-flow tool behind the contingency
+// analysis agent. Mismatch tolerances follow the paper's validation rule:
+// a solution is accepted when the maximum nodal power balance error is
+// below Options.Tol in per-unit.
+package powerflow
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gridmind/internal/model"
+)
+
+// Algorithm selects the power flow method.
+type Algorithm int
+
+const (
+	// NewtonRaphson is the full AC Newton-Raphson solver (default).
+	NewtonRaphson Algorithm = iota
+	// FastDecoupled is the XB fast-decoupled AC solver, used by the agents
+	// as the automatic fallback when Newton fails from a poor start.
+	FastDecoupled
+	// DC is the linearized active-power-only solver.
+	DC
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case NewtonRaphson:
+		return "newton-raphson"
+	case FastDecoupled:
+		return "fast-decoupled-xb"
+	case DC:
+		return "dc"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configures a power flow solve. The zero value is a usable
+// default: Newton-Raphson, 1e-8 p.u. tolerance, 30 iterations, flat start.
+type Options struct {
+	Algorithm Algorithm
+	// Tol is the convergence tolerance on the maximum nodal power
+	// mismatch in p.u. Zero selects 1e-8.
+	Tol float64
+	// MaxIter bounds solver iterations. Zero selects 30 for NR and 60 for
+	// the fast-decoupled method.
+	MaxIter int
+	// FlatStart forces Vm=1 (or setpoints), Va=0 instead of the case's
+	// stored voltage profile.
+	FlatStart bool
+	// Warm, when non-nil, supplies the starting voltage profile. It
+	// overrides FlatStart; lengths must match the bus count.
+	Warm *VoltageProfile
+	// EnforceQLimits converts PV buses to PQ when their aggregate
+	// reactive capability is exhausted and re-solves (outer loop).
+	EnforceQLimits bool
+}
+
+// VoltageProfile is a bus voltage state (magnitude p.u., angle rad).
+type VoltageProfile struct {
+	Vm []float64 `json:"vm"`
+	Va []float64 `json:"va"`
+}
+
+// Clone deep-copies the profile.
+func (p *VoltageProfile) Clone() *VoltageProfile {
+	return &VoltageProfile{
+		Vm: append([]float64(nil), p.Vm...),
+		Va: append([]float64(nil), p.Va...),
+	}
+}
+
+// BranchFlow reports the power flow on one branch in physical units.
+type BranchFlow struct {
+	Branch int `json:"branch"`
+	// FromP/FromQ and ToP/ToQ are the MW/MVAr entering the branch at each
+	// terminal (positive into the branch).
+	FromP, FromQ float64
+	ToP, ToQ     float64
+	// LoadingPct is max(|Sf|,|St|)/RateMVA·100; zero when the branch has
+	// no rating.
+	LoadingPct float64
+}
+
+// MVAFrom returns the apparent power at the from end in MVA.
+func (f BranchFlow) MVAFrom() float64 { return math.Hypot(f.FromP, f.FromQ) }
+
+// MVATo returns the apparent power at the to end in MVA.
+func (f BranchFlow) MVATo() float64 { return math.Hypot(f.ToP, f.ToQ) }
+
+// Result is a solved power flow.
+type Result struct {
+	Converged   bool
+	Iterations  int
+	MaxMismatch float64 // p.u., at the returned state
+	Algorithm   Algorithm
+	Voltages    VoltageProfile
+	// GenP and GenQ are the per-generator outputs in MW / MVAr after
+	// slack pickup and reactive allocation.
+	GenP, GenQ []float64
+	// Flows has one entry per network branch (zero flows when out of
+	// service).
+	Flows []BranchFlow
+	// LossP is total active losses in MW.
+	LossP float64
+	// MinVm/MaxVm are the voltage extrema over in-service buses.
+	MinVm, MaxVm float64
+}
+
+// ErrNotConverged reports power flow divergence.
+var ErrNotConverged = errors.New("powerflow: did not converge")
+
+// classification holds the PV/PQ/slack split used by the AC solvers.
+type classification struct {
+	slack int
+	pv    []int // PV bus indices
+	pq    []int // PQ bus indices
+	// pSpec/qSpec are specified net injections in p.u. (gen − load).
+	pSpec, qSpec []float64
+	// qMinBus/qMaxBus aggregate reactive capability per bus (p.u.).
+	qMinBus, qMaxBus []float64
+}
+
+func classify(n *model.Network) (*classification, error) {
+	nb := len(n.Buses)
+	c := &classification{
+		slack:   n.SlackBus(),
+		pSpec:   make([]float64, nb),
+		qSpec:   make([]float64, nb),
+		qMinBus: make([]float64, nb),
+		qMaxBus: make([]float64, nb),
+	}
+	if c.slack < 0 {
+		return nil, errors.New("powerflow: network has no slack bus")
+	}
+	hasGen := make([]bool, nb)
+	for _, g := range n.Gens {
+		if !g.InService {
+			continue
+		}
+		hasGen[g.Bus] = true
+		c.pSpec[g.Bus] += g.P / n.BaseMVA
+		c.qMinBus[g.Bus] += g.QMin / n.BaseMVA
+		c.qMaxBus[g.Bus] += g.QMax / n.BaseMVA
+	}
+	for _, l := range n.Loads {
+		if !l.InService {
+			continue
+		}
+		c.pSpec[l.Bus] -= l.P / n.BaseMVA
+		c.qSpec[l.Bus] -= l.Q / n.BaseMVA
+	}
+	for i, b := range n.Buses {
+		if i == c.slack {
+			continue
+		}
+		// A bus declared PV without an in-service generator is treated
+		// as PQ: nothing can regulate its voltage.
+		if b.Type == model.PV && hasGen[i] {
+			c.pv = append(c.pv, i)
+		} else {
+			c.pq = append(c.pq, i)
+		}
+	}
+	return c, nil
+}
+
+// startVoltages builds the initial profile according to options.
+func startVoltages(n *model.Network, opts Options) (vm, va []float64) {
+	nb := len(n.Buses)
+	vm = make([]float64, nb)
+	va = make([]float64, nb)
+	if opts.Warm != nil {
+		copy(vm, opts.Warm.Vm)
+		copy(va, opts.Warm.Va)
+		return vm, va
+	}
+	for i, b := range n.Buses {
+		if opts.FlatStart {
+			vm[i], va[i] = 1, 0
+		} else {
+			vm[i], va[i] = b.Vm, b.Va
+		}
+	}
+	// Generator voltage setpoints override at regulated buses.
+	for _, g := range n.Gens {
+		if g.InService && g.VSetpoint > 0 {
+			if n.Buses[g.Bus].Type == model.PV || n.Buses[g.Bus].Type == model.Slack {
+				vm[g.Bus] = g.VSetpoint
+			}
+		}
+	}
+	return vm, va
+}
+
+// Solve runs the configured power flow on the network.
+func Solve(n *model.Network, opts Options) (*Result, error) {
+	if opts.Tol == 0 {
+		opts.Tol = 1e-8
+	}
+	switch opts.Algorithm {
+	case NewtonRaphson:
+		if opts.MaxIter == 0 {
+			opts.MaxIter = 30
+		}
+		return solveACOuter(n, opts, newtonInner)
+	case FastDecoupled:
+		if opts.MaxIter == 0 {
+			opts.MaxIter = 60
+		}
+		return solveACOuter(n, opts, fdpfInner)
+	case DC:
+		return solveDC(n)
+	default:
+		return nil, fmt.Errorf("powerflow: unknown algorithm %v", opts.Algorithm)
+	}
+}
+
+// innerSolver iterates one AC method to convergence for a fixed PV/PQ split.
+type innerSolver func(n *model.Network, y *model.Ybus, c *classification, vm, va []float64, opts Options) (iter int, maxMis float64, converged bool, err error)
+
+// solveACOuter wraps an inner AC solver with the PV→PQ reactive-limit
+// outer loop and final result assembly.
+func solveACOuter(n *model.Network, opts Options, inner innerSolver) (*Result, error) {
+	c, err := classify(n)
+	if err != nil {
+		return nil, err
+	}
+	y := model.BuildYbus(n)
+	vm, va := startVoltages(n, opts)
+
+	res := &Result{Algorithm: opts.Algorithm}
+	const maxQRounds = 6
+	for round := 0; ; round++ {
+		iter, mis, conv, err := inner(n, y, c, vm, va, opts)
+		res.Iterations += iter
+		res.MaxMismatch = mis
+		res.Converged = conv
+		if err != nil {
+			return res, err
+		}
+		if !conv {
+			finishResult(n, y, c, vm, va, res)
+			return res, fmt.Errorf("%w after %d iterations (max mismatch %.3e p.u., %v)",
+				ErrNotConverged, res.Iterations, mis, opts.Algorithm)
+		}
+		if !opts.EnforceQLimits || round >= maxQRounds {
+			break
+		}
+		if !switchPVtoPQ(y, c, vm, va) {
+			break
+		}
+	}
+	finishResult(n, y, c, vm, va, res)
+	return res, nil
+}
+
+// switchPVtoPQ checks reactive outputs at PV buses against aggregate
+// capability; violated buses become PQ pinned at the limit. Reports
+// whether any switch happened.
+func switchPVtoPQ(y *model.Ybus, c *classification, vm, va []float64) bool {
+	v := model.VoltageVector(vm, va)
+	s := y.Injections(v)
+	switched := false
+	kept := c.pv[:0]
+	for _, i := range c.pv {
+		qInj := imag(s[i])        // net injection needed at solution
+		qGen := qInj - c.qSpec[i] // generator share (qSpec holds −load)
+		switch {
+		case qGen > c.qMaxBus[i]+1e-9:
+			c.qSpec[i] += c.qMaxBus[i]
+			c.pq = append(c.pq, i)
+			switched = true
+		case qGen < c.qMinBus[i]-1e-9:
+			c.qSpec[i] += c.qMinBus[i]
+			c.pq = append(c.pq, i)
+			switched = true
+		default:
+			kept = append(kept, i)
+		}
+	}
+	c.pv = kept
+	return switched
+}
+
+// finishResult computes flows, losses, generator allocations and extrema.
+func finishResult(n *model.Network, y *model.Ybus, c *classification, vm, va []float64, res *Result) {
+	nb := len(n.Buses)
+	res.Voltages = VoltageProfile{Vm: append([]float64(nil), vm...), Va: append([]float64(nil), va...)}
+	v := model.VoltageVector(vm, va)
+	s := y.Injections(v)
+
+	res.Flows = make([]BranchFlow, len(n.Branches))
+	var lossP float64
+	for k, br := range n.Branches {
+		f := BranchFlow{Branch: k}
+		if br.InService {
+			sf, st := y.BranchFlow(n, k, v)
+			f.FromP, f.FromQ = real(sf), imag(sf)
+			f.ToP, f.ToQ = real(st), imag(st)
+			lossP += f.FromP + f.ToP
+			if br.RateMVA > 0 {
+				f.LoadingPct = 100 * math.Max(f.MVAFrom(), f.MVATo()) / br.RateMVA
+			}
+		}
+		res.Flows[k] = f
+	}
+	res.LossP = lossP
+
+	// Allocate generator outputs: P from setpoints except slack picks up
+	// the residual; Q distributed over each bus's units in proportion to
+	// their reactive range.
+	res.GenP = make([]float64, len(n.Gens))
+	res.GenQ = make([]float64, len(n.Gens))
+	for i := 0; i < nb; i++ {
+		gens := n.GensAtBus(i)
+		if len(gens) == 0 {
+			continue
+		}
+		loadP, loadQ := n.BusLoad(i)
+		busGenP := real(s[i])*n.BaseMVA + loadP
+		busGenQ := imag(s[i])*n.BaseMVA + loadQ
+		if i != c.slack {
+			// Keep dispatched P; numerical residue goes nowhere.
+			busGenP = 0
+			for _, g := range gens {
+				busGenP += n.Gens[g].P
+			}
+		}
+		var pCap, qRange float64
+		for _, g := range gens {
+			pCap += math.Max(n.Gens[g].PMax, 1e-9)
+			qRange += math.Max(n.Gens[g].QMax-n.Gens[g].QMin, 1e-9)
+		}
+		for _, g := range gens {
+			gen := n.Gens[g]
+			res.GenP[g] = busGenP * math.Max(gen.PMax, 1e-9) / pCap
+			share := math.Max(gen.QMax-gen.QMin, 1e-9) / qRange
+			res.GenQ[g] = busGenQ * share
+		}
+	}
+
+	res.MinVm, res.MaxVm = math.Inf(1), math.Inf(-1)
+	for i := range n.Buses {
+		if vm[i] < res.MinVm {
+			res.MinVm = vm[i]
+		}
+		if vm[i] > res.MaxVm {
+			res.MaxVm = vm[i]
+		}
+	}
+}
+
+// Mismatch returns the per-bus complex power mismatch (specified − injected)
+// in p.u. for an arbitrary voltage profile. Exposed for validation layers.
+func Mismatch(n *model.Network, prof *VoltageProfile) []complex128 {
+	y := model.BuildYbus(n)
+	c, err := classify(n)
+	if err != nil {
+		return nil
+	}
+	v := model.VoltageVector(prof.Vm, prof.Va)
+	s := y.Injections(v)
+	out := make([]complex128, len(n.Buses))
+	for i := range n.Buses {
+		out[i] = complex(c.pSpec[i], c.qSpec[i]) - s[i]
+	}
+	return out
+}
+
+// angleWrap keeps angles in (-π, π] for stable warm starts.
+func angleWrap(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}

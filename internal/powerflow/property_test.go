@@ -1,0 +1,165 @@
+package powerflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gridmind/internal/model"
+)
+
+// Property: for any load scaling in a sane operating envelope, the power
+// flow converges and obeys energy conservation — generation equals demand
+// plus (positive) losses.
+func TestPowerFlowEnergyConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := threeBus()
+		scale := 0.4 + 1.1*rng.Float64() // 0.4x .. 1.5x demand
+		for i := range n.Loads {
+			n.Loads[i].P *= scale
+			n.Loads[i].Q *= scale
+		}
+		// Dispatch the PV unit proportionally.
+		n.Gens[1].P *= scale
+		res, err := Solve(n, Options{})
+		if err != nil || !res.Converged {
+			return false
+		}
+		loadP, _ := n.TotalLoad()
+		var genP float64
+		for _, p := range res.GenP {
+			genP += p
+		}
+		if res.LossP <= 0 {
+			return false
+		}
+		return math.Abs(genP-loadP-res.LossP) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: warm-starting from the solved state of a perturbed problem
+// never diverges and reproduces the same solution as a flat start.
+func TestPowerFlowWarmStartConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := threeBus()
+		n.Loads[0].P += 30 * (rng.Float64() - 0.5)
+		cold, err := Solve(n, Options{FlatStart: true})
+		if err != nil {
+			return true // infeasible perturbation: vacuous
+		}
+		warm, err := Solve(n, Options{Warm: cold.Voltages.Clone()})
+		if err != nil || !warm.Converged {
+			return false
+		}
+		for i := range cold.Voltages.Vm {
+			if math.Abs(cold.Voltages.Vm[i]-warm.Voltages.Vm[i]) > 1e-7 {
+				return false
+			}
+		}
+		return warm.Iterations <= cold.Iterations
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the slack bus always holds its angle reference and PV buses
+// their magnitude setpoints, for any feasible loading.
+func TestPowerFlowBoundaryConditionsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := threeBus()
+		n.Loads[0].P = 20 + 100*rng.Float64()
+		n.Loads[0].Q = n.Loads[0].P * 0.3
+		res, err := Solve(n, Options{})
+		if err != nil {
+			return true // vacuous for infeasible draws
+		}
+		if res.Voltages.Va[0] != n.Buses[0].Va {
+			return false
+		}
+		return math.Abs(res.Voltages.Vm[1]-1.02) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DC flows are antisymmetric (lossless) for arbitrary loading.
+func TestDCAntisymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := threeBus()
+		n.Loads[0].P = 150 * rng.Float64()
+		res, err := Solve(n, Options{Algorithm: DC})
+		if err != nil {
+			return false
+		}
+		for _, fl := range res.Flows {
+			if math.Abs(fl.FromP+fl.ToP) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an out-of-service branch never carries flow, whichever branch
+// is chosen, as long as the network stays connected.
+func TestOutageZeroFlowProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := threeBus()
+		k := rng.Intn(len(n.Branches))
+		n.Branches[k].InService = false
+		if !n.IsConnected() {
+			return true
+		}
+		res, err := Solve(n, Options{})
+		if err != nil {
+			return false
+		}
+		fl := res.Flows[k]
+		return fl.FromP == 0 && fl.ToP == 0 && fl.LoadingPct == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Ybus injections match the polar-form injections used by the
+// Newton solver for arbitrary voltage states (cross-check of the two
+// independent evaluation paths).
+func TestInjectionEvaluationConsistencyProperty(t *testing.T) {
+	n := threeBus()
+	y := model.BuildYbus(n)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vm := make([]float64, 3)
+		va := make([]float64, 3)
+		for i := range vm {
+			vm[i] = 0.9 + 0.2*rng.Float64()
+			va[i] = 0.3 * rng.NormFloat64()
+		}
+		p, q := injections(y, vm, va)
+		s := y.Injections(model.VoltageVector(vm, va))
+		for i := range s {
+			if math.Abs(real(s[i])-p[i]) > 1e-10 || math.Abs(imag(s[i])-q[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

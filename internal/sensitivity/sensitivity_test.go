@@ -1,0 +1,111 @@
+package sensitivity
+
+import (
+	"math"
+	"testing"
+
+	"gridmind/internal/cases"
+	"gridmind/internal/opf"
+)
+
+func TestLMPMatchesFiniteDifference(t *testing.T) {
+	// The flagship OPF correctness property: the LMP at a bus must
+	// predict the cost of serving one more MW there. Verified by exact
+	// warm-started re-solves on case14.
+	n := cases.MustLoad("case14")
+	base, err := opf.SolveACOPF(n, opf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	impacts, err := LoadImpacts(n, base, []int{9, 14, 4}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, im := range impacts {
+		if !im.Solved {
+			t.Fatalf("bus %d: re-solve failed", im.BusID)
+		}
+		relErr := math.Abs(im.LMPPredicted-im.CostDelta) / math.Abs(im.CostDelta)
+		if relErr > 0.05 {
+			t.Errorf("bus %d: LMP predicts %+.3f $/h, exact %+.3f $/h (rel err %.3f)",
+				im.BusID, im.LMPPredicted, im.CostDelta, relErr)
+		}
+	}
+	mare, solvedRows := Consistency(impacts)
+	if solvedRows != 3 {
+		t.Fatalf("solved rows %d", solvedRows)
+	}
+	if mare > 0.05 {
+		t.Fatalf("mean abs rel err %v too large: LMPs inconsistent with re-solves", mare)
+	}
+}
+
+func TestLoadImpactsCostMonotonicity(t *testing.T) {
+	n := cases.MustLoad("case30")
+	base, err := opf.SolveACOPF(n, opf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	impacts, err := LoadImpacts(n, base, []int{7, 21, 30}, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, im := range impacts {
+		if im.Solved && im.CostDelta <= 0 {
+			t.Errorf("bus %d: adding 5 MW decreased cost by %v", im.BusID, -im.CostDelta)
+		}
+	}
+}
+
+func TestLoadImpactsErrors(t *testing.T) {
+	n := cases.MustLoad("case14")
+	base, _ := opf.SolveACOPF(n, opf.Options{})
+	if _, err := LoadImpacts(n, nil, []int{1}, 1); err == nil {
+		t.Fatal("nil base accepted")
+	}
+	if _, err := LoadImpacts(n, base, []int{1}, 0); err == nil {
+		t.Fatal("zero delta accepted")
+	}
+	if _, err := LoadImpacts(n, base, []int{999}, 1); err == nil {
+		t.Fatal("unknown bus accepted")
+	}
+	unsolved := &opf.Solution{Solved: false}
+	if _, err := LoadImpacts(n, unsolved, []int{1}, 1); err == nil {
+		t.Fatal("unsolved base accepted")
+	}
+}
+
+func TestPriceMapSorted(t *testing.T) {
+	n := cases.MustLoad("case30")
+	base, err := opf.SolveACOPF(n, opf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := PriceMap(n, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 30 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].LMP > rows[i-1].LMP {
+			t.Fatal("price map not sorted descending")
+		}
+	}
+	if _, err := PriceMap(n, &opf.Solution{}); err == nil {
+		t.Fatal("unsolved base accepted")
+	}
+}
+
+func TestConsistencyEmpty(t *testing.T) {
+	mare, solved := Consistency(nil)
+	if mare != 0 || solved != 0 {
+		t.Fatal("empty consistency should be zero")
+	}
+	mare, solved = Consistency([]Impact{{Solved: false}})
+	if solved != 0 {
+		t.Fatal("unsolved rows counted")
+	}
+	_ = mare
+}

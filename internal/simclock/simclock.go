@@ -1,0 +1,71 @@
+// Package simclock abstracts time so experiments can report paper-scale
+// latencies (tens of seconds per LLM call) without wall-clock sleeps.
+//
+// The real LLM backends in the paper contribute 10-90 s of latency per
+// query (Figure 3). The simulated backends reproduce those distributions
+// through a virtual clock: Sleep advances simulated time instantly, and
+// the experiment harness reads elapsed simulated seconds for its reports,
+// while benchmarks keep measuring real compute on the real clock.
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time source used by LLM clients and the metrics recorder.
+type Clock interface {
+	// Now returns the current (real or simulated) time.
+	Now() time.Time
+	// Sleep advances time by d: blocking for the real clock,
+	// instantaneous for the simulated clock.
+	Sleep(d time.Duration)
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Sim is a virtual clock that advances only via Sleep and Advance. The
+// zero value is not usable; construct with NewSim.
+type Sim struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewSim returns a simulated clock starting at the given instant.
+func NewSim(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Sleep implements Clock: simulated time advances immediately.
+func (s *Sim) Sleep(d time.Duration) {
+	s.Advance(d)
+}
+
+// Advance moves the simulated clock forward by d (negative d is ignored).
+func (s *Sim) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.now = s.now.Add(d)
+	s.mu.Unlock()
+}
+
+// Elapsed returns simulated time since start.
+func (s *Sim) Elapsed(start time.Time) time.Duration {
+	return s.Now().Sub(start)
+}

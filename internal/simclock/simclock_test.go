@@ -1,0 +1,57 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimAdvancesOnSleep(t *testing.T) {
+	start := time.Date(2025, 9, 2, 0, 0, 0, 0, time.UTC)
+	c := NewSim(start)
+	if !c.Now().Equal(start) {
+		t.Fatal("start time wrong")
+	}
+	before := time.Now()
+	c.Sleep(90 * time.Second) // must not block for real
+	if time.Since(before) > time.Second {
+		t.Fatal("simulated sleep blocked the wall clock")
+	}
+	if got := c.Elapsed(start); got != 90*time.Second {
+		t.Fatalf("elapsed %v", got)
+	}
+}
+
+func TestSimNegativeAdvanceIgnored(t *testing.T) {
+	start := time.Unix(0, 0)
+	c := NewSim(start)
+	c.Advance(-time.Hour)
+	if !c.Now().Equal(start) {
+		t.Fatal("negative advance moved the clock")
+	}
+}
+
+func TestSimConcurrentAdvance(t *testing.T) {
+	c := NewSim(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Advance(time.Second)
+		}()
+	}
+	wg.Wait()
+	if got := c.Elapsed(time.Unix(0, 0)); got != 100*time.Second {
+		t.Fatalf("elapsed %v, want 100s", got)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	var c Clock = Real{}
+	t0 := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Now().Sub(t0) < time.Millisecond {
+		t.Fatal("real sleep did not elapse")
+	}
+}

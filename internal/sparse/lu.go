@@ -1,0 +1,272 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular reports a numerically singular matrix during factorization.
+var ErrSingular = errors.New("sparse: matrix is singular")
+
+// Options configures the LU factorization.
+type Options struct {
+	// ColPerm is the fill-reducing column pre-ordering. If nil, an RCM
+	// ordering of the symmetrized pattern is computed.
+	ColPerm []int
+	// DiagPreference is the threshold-pivoting parameter in (0, 1]: the
+	// original diagonal entry is accepted as pivot when its magnitude is at
+	// least DiagPreference times the column maximum. 1.0 means strict
+	// partial pivoting; smaller values preserve the (fill-reducing)
+	// diagonal choice more often. Zero selects the default 0.1.
+	DiagPreference float64
+}
+
+// LU is a Gilbert-Peierls sparse LU factorization with partial pivoting:
+// P·A·Q = L·U, where Q is the fill-reducing column pre-order and P is the
+// row permutation chosen by threshold partial pivoting.
+type LU struct {
+	n    int
+	lp   []int // L column pointers (diagonal entry stored first per column)
+	li   []int
+	lx   []float64
+	up   []int // U column pointers (diagonal entry stored last per column)
+	ui   []int
+	ux   []float64
+	pinv []int // original row -> pivot position
+	q    []int // column pre-order: column q[k] eliminated at step k
+}
+
+// Factorize computes the sparse LU decomposition of the square matrix a.
+func Factorize(a *CSC, opts Options) (*LU, error) {
+	n := a.cols
+	if a.rows != n {
+		return nil, fmt.Errorf("sparse: Factorize needs square matrix, got %dx%d", a.rows, a.cols)
+	}
+	q := opts.ColPerm
+	if q == nil {
+		q = RCM(a)
+	}
+	if len(q) != n {
+		return nil, fmt.Errorf("sparse: column permutation length %d, want %d", len(q), n)
+	}
+	tol := opts.DiagPreference
+	if tol == 0 {
+		tol = 0.1
+	}
+	if tol < 0 || tol > 1 {
+		return nil, fmt.Errorf("sparse: DiagPreference %v out of (0,1]", tol)
+	}
+
+	f := &LU{
+		n:    n,
+		lp:   make([]int, n+1),
+		up:   make([]int, n+1),
+		pinv: make([]int, n),
+		q:    q,
+	}
+	for i := range f.pinv {
+		f.pinv[i] = -1
+	}
+	nzEst := 4*a.NNZ() + n
+	f.li = make([]int, 0, nzEst)
+	f.lx = make([]float64, 0, nzEst)
+	f.ui = make([]int, 0, nzEst)
+	f.ux = make([]float64, 0, nzEst)
+
+	x := make([]float64, n)  // numeric workspace
+	xi := make([]int, 2*n)   // pattern + recursion stacks
+	pstack := make([]int, n) // DFS position stack
+	marked := make([]int, n) // DFS visit marks, stamped by column k+1
+	for k := 0; k < n; k++ {
+		f.lp[k] = len(f.lx)
+		f.up[k] = len(f.ux)
+
+		col := q[k]
+		top := f.reach(a, col, xi, pstack, marked, k+1)
+
+		// Numeric sparse triangular solve x = L \ A(:, col) over the
+		// reachable pattern (in topological order xi[top:n]).
+		for p := a.colPtr[col]; p < a.colPtr[col+1]; p++ {
+			x[a.rowIdx[p]] = a.val[p]
+		}
+		for pp := top; pp < n; pp++ {
+			j := xi[pp]
+			jn := f.pinv[j]
+			if jn < 0 {
+				continue
+			}
+			// First stored entry of L column jn is the unit diagonal.
+			xj := x[j]
+			for p := f.lp[jn] + 1; p < f.lp[jn+1]; p++ {
+				x[f.li[p]] -= f.lx[p] * xj
+			}
+		}
+
+		// Pivot search among not-yet-pivoted rows.
+		ipiv := -1
+		var amax float64
+		for pp := top; pp < n; pp++ {
+			i := xi[pp]
+			if f.pinv[i] >= 0 {
+				// Row already pivoted: belongs to U.
+				continue
+			}
+			if av := math.Abs(x[i]); av > amax {
+				amax, ipiv = av, i
+			}
+		}
+		if ipiv == -1 || amax == 0 {
+			return nil, fmt.Errorf("%w: no pivot in column %d", ErrSingular, col)
+		}
+		// Prefer the original diagonal if acceptably large.
+		if f.pinv[col] < 0 && math.Abs(x[col]) >= tol*amax {
+			ipiv = col
+		}
+		pivot := x[ipiv]
+		f.pinv[ipiv] = k
+
+		// Assemble U column k (off-diagonal first, diagonal last).
+		for pp := top; pp < n; pp++ {
+			i := xi[pp]
+			if jn := f.pinv[i]; jn >= 0 && jn < k {
+				f.ui = append(f.ui, jn)
+				f.ux = append(f.ux, x[i])
+			}
+		}
+		f.ui = append(f.ui, k)
+		f.ux = append(f.ux, pivot)
+
+		// Assemble L column k (unit diagonal first).
+		f.li = append(f.li, ipiv)
+		f.lx = append(f.lx, 1)
+		for pp := top; pp < n; pp++ {
+			i := xi[pp]
+			if f.pinv[i] < 0 {
+				f.li = append(f.li, i)
+				f.lx = append(f.lx, x[i]/pivot)
+			}
+			x[i] = 0 // clear workspace
+		}
+	}
+	f.lp[n] = len(f.lx)
+	f.up[n] = len(f.ux)
+	// Remap L's row indices into pivot order.
+	for p := range f.li {
+		f.li[p] = f.pinv[f.li[p]]
+	}
+	return f, nil
+}
+
+// reach computes the nonzero pattern of L \ A(:, col) by depth-first search
+// over the partially built L, writing the pattern in topological order to
+// xi[top:n] and returning top. marked entries are stamped with the value
+// stamp to avoid reinitialization each column.
+func (f *LU) reach(a *CSC, col int, xi, pstack, marked []int, stamp int) int {
+	n := f.n
+	top := n
+	for p := a.colPtr[col]; p < a.colPtr[col+1]; p++ {
+		i := a.rowIdx[p]
+		if marked[i] == stamp {
+			continue
+		}
+		top = f.dfs(i, top, xi, pstack, marked, stamp)
+	}
+	return top
+}
+
+// dfs performs an iterative depth-first search from row node i through the
+// columns of L (via pinv), pushing finished nodes onto xi in reverse
+// topological order.
+func (f *LU) dfs(i, top int, xi, pstack, marked []int, stamp int) int {
+	head := 0
+	xi[0] = i
+	for head >= 0 {
+		j := xi[head]
+		jn := f.pinv[j]
+		if marked[j] != stamp {
+			marked[j] = stamp
+			if jn < 0 {
+				pstack[head] = 0
+			} else {
+				pstack[head] = f.lp[jn] + 1 // skip unit diagonal
+			}
+		}
+		done := true
+		if jn >= 0 {
+			for p := pstack[head]; p < f.lp[jn+1]; p++ {
+				r := f.li[p]
+				if marked[r] == stamp {
+					continue
+				}
+				pstack[head] = p + 1
+				head++
+				xi[head] = r
+				done = false
+				break
+			}
+		}
+		if done {
+			head--
+			top--
+			xi[top] = j
+		}
+	}
+	return top
+}
+
+// Solve returns x with A·x = b for the factorized A. b is not modified.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("sparse: Solve rhs length %d, want %d", len(b), f.n)
+	}
+	n := f.n
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[f.pinv[i]] = b[i]
+	}
+	// Forward substitution L·z = P·b (diagonal of L stored first, == 1).
+	for j := 0; j < n; j++ {
+		yj := y[j]
+		if yj == 0 {
+			continue
+		}
+		for p := f.lp[j] + 1; p < f.lp[j+1]; p++ {
+			y[f.li[p]] -= f.lx[p] * yj
+		}
+	}
+	// Back substitution U·w = z (diagonal of U stored last in each column).
+	for j := n - 1; j >= 0; j-- {
+		d := f.ux[f.up[j+1]-1]
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		y[j] /= d
+		yj := y[j]
+		if yj == 0 {
+			continue
+		}
+		for p := f.up[j]; p < f.up[j+1]-1; p++ {
+			y[f.ui[p]] -= f.ux[p] * yj
+		}
+	}
+	// Undo the column pre-order.
+	x := make([]float64, n)
+	for k := 0; k < n; k++ {
+		x[f.q[k]] = y[k]
+	}
+	return x, nil
+}
+
+// NNZ returns the total stored entries of the L and U factors, a measure of
+// fill-in.
+func (f *LU) NNZ() int { return len(f.lx) + len(f.ux) }
+
+// SolveCSC factorizes a and solves A·x = b in one call.
+func SolveCSC(a *CSC, b []float64, opts Options) ([]float64, error) {
+	f, err := Factorize(a, opts)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

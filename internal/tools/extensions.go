@@ -1,0 +1,271 @@
+package tools
+
+import (
+	"fmt"
+	"sort"
+
+	"gridmind/internal/contingency"
+	"gridmind/internal/opf"
+	"gridmind/internal/schema"
+	"gridmind/internal/scopf"
+	"gridmind/internal/sensitivity"
+	"gridmind/internal/session"
+)
+
+// Extension tool names. These go beyond the paper's Appendix B.3 set,
+// exercising the registry property §3.1 calls out: "new analytical tools
+// can be registered with a schema; the planner notices capabilities
+// without refactoring core logic". They implement the §B.4 workflow
+// capabilities (sensitivity analysis; economic vs security-constrained
+// comparison).
+const (
+	ToolLoadSensitivity = "analyze_load_sensitivity"
+	ToolCompareStrategy = "compare_operation_strategies"
+	ToolGenOutage       = "analyze_generator_outage"
+	ToolAssessQuality   = "assess_solution_quality"
+)
+
+// ExtendedACOPFToolNames returns the ACOPF agent's toolbox including the
+// registered extensions.
+func ExtendedACOPFToolNames() []string {
+	return append(ACOPFToolNames(), ToolLoadSensitivity, ToolCompareStrategy, ToolAssessQuality)
+}
+
+// ExtendedCAToolNames returns the CA agent's toolbox including the
+// generator-outage extension.
+func ExtendedCAToolNames() []string {
+	return append(CAToolNames(), ToolGenOutage)
+}
+
+// RegisterExtensions adds the extension tools to a registry bound to the
+// same session.
+func RegisterExtensions(r *Registry, ctx *session.Context) error {
+	if err := r.Register(loadSensitivityTool(ctx)); err != nil {
+		return err
+	}
+	if err := r.Register(compareStrategyTool(ctx)); err != nil {
+		return err
+	}
+	if err := r.Register(genOutageTool(ctx)); err != nil {
+		return err
+	}
+	return r.Register(assessQualityTool(ctx))
+}
+
+func assessQualityTool(ctx *session.Context) *Tool {
+	return &Tool{
+		Name: ToolAssessQuality,
+		Description: "Score the current ACOPF solution on the 0-10 quality rubric (convergence, constraint " +
+			"satisfaction, economic efficiency, system security) with recommendations — Figure 4's capability 4.",
+		Input: schema.Obj("", map[string]*schema.Schema{}),
+		Output: schema.Obj("solution quality", map[string]*schema.Schema{
+			"overall_score": schema.Num("0-10 composite").WithRange(0, 10),
+		}, "overall_score").WithExtra(),
+		Fn: func(args map[string]any) (any, error) {
+			n, err := ctx.Network()
+			if err != nil {
+				return nil, err
+			}
+			sol, err := ensureSolved(ctx)
+			if err != nil {
+				return nil, err
+			}
+			q := opf.AssessQuality(n, sol)
+			return map[string]any{
+				"case_name":               n.Name,
+				"overall_score":           round2(q.OverallScore),
+				"convergence_quality":     round2(q.ConvergenceQuality),
+				"constraint_satisfaction": round2(q.ConstraintSatisfaction),
+				"economic_efficiency":     round2(q.EconomicEfficiency),
+				"system_security":         round2(q.SystemSecurity),
+				"recommendations":         q.Recommendations,
+				"objective_cost":          round2(sol.ObjectiveCost),
+			}, nil
+		},
+	}
+}
+
+func genOutageTool(ctx *session.Context) *Tool {
+	return &Tool{
+		Name: ToolGenOutage,
+		Description: "Analyze the loss of a generator: the lost dispatch is picked up by the remaining " +
+			"fleet's headroom (governor response), then the post-outage state is screened for overloads, " +
+			"voltage violations and reserve deficits. Identify the unit by its bus number.",
+		Input: schema.Obj("", map[string]*schema.Schema{
+			"bus": schema.Int("bus number of the generating unit"),
+		}, "bus"),
+		Output: schema.Obj("generator outage analysis", map[string]*schema.Schema{
+			"bus_id":   schema.Int(""),
+			"severity": schema.Num("criticality score"),
+		}, "bus_id", "severity").WithExtra(),
+		Fn: func(args map[string]any) (any, error) {
+			busID := int(args["bus"].(float64))
+			n, err := ctx.Network()
+			if err != nil {
+				return nil, err
+			}
+			bi := n.BusByID(busID)
+			if bi < 0 {
+				return nil, fmt.Errorf("bus %d does not exist in %s", busID, n.Name)
+			}
+			gens := n.GensAtBus(bi)
+			if len(gens) == 0 {
+				return nil, fmt.Errorf("no in-service generator at bus %d", busID)
+			}
+			out, err := contingency.AnalyzeGenOutage(n, gens[0], contingency.Options{})
+			if err != nil {
+				return nil, err
+			}
+			ctx.AddProvenance(ToolGenOutage, out.Describe())
+			return map[string]any{
+				"bus_id":             out.BusID,
+				"gen":                out.Gen,
+				"lost_mw":            round2(out.LostMW),
+				"converged":          out.Converged,
+				"reserve_deficit_mw": round2(out.ReserveDeficitMW),
+				"max_loading_pct":    round2(out.MaxLoadingPct),
+				"min_voltage_pu":     round4(out.MinVoltagePU),
+				"overloads":          len(out.Overloads),
+				"volt_violations":    len(out.VoltViols),
+				"severity":           round2(out.Severity),
+				"description":        out.Describe(),
+			}, nil
+		},
+	}
+}
+
+// ensureSolved returns a fresh ACOPF solution, solving if necessary.
+func ensureSolved(ctx *session.Context) (*opf.Solution, error) {
+	if sol, fresh := ctx.ACOPF(); fresh && sol.Solved {
+		return sol, nil
+	}
+	sol, _, err := solveWithRecovery(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ctx.SetACOPF(sol)
+	return sol, nil
+}
+
+func loadSensitivityTool(ctx *session.Context) *Tool {
+	return &Tool{
+		Name: ToolLoadSensitivity,
+		Description: "Assess the economic impact of incremental load at specific buses: first-order LMP " +
+			"prediction plus exact warm-started re-solves, with the consistency between the two.",
+		Input: schema.Obj("", map[string]*schema.Schema{
+			"buses":    schema.Arr("external bus numbers to probe (default: the three priciest buses)", schema.Int("")),
+			"delta_mw": schema.Num("MW step per bus (default 1)").WithRange(-1000, 1000),
+		}),
+		Output: schema.Obj("sensitivity analysis", map[string]*schema.Schema{
+			"impacts": schema.Arr("per-bus impact rows", schema.Obj("", map[string]*schema.Schema{
+				"bus_id": schema.Int(""),
+			}, "bus_id").WithExtra()),
+		}, "impacts").WithExtra(),
+		Fn: func(args map[string]any) (any, error) {
+			n, err := ctx.Network()
+			if err != nil {
+				return nil, err
+			}
+			base, err := ensureSolved(ctx)
+			if err != nil {
+				return nil, err
+			}
+			delta := 1.0
+			if v, ok := args["delta_mw"].(float64); ok && v != 0 {
+				delta = v
+			}
+			var buses []int
+			if raw, ok := args["buses"].([]any); ok {
+				for _, b := range raw {
+					if f, ok := b.(float64); ok {
+						buses = append(buses, int(f))
+					}
+				}
+			}
+			if len(buses) == 0 {
+				prices, err := sensitivity.PriceMap(n, base)
+				if err != nil {
+					return nil, err
+				}
+				for i := 0; i < 3 && i < len(prices); i++ {
+					buses = append(buses, prices[i].BusID)
+				}
+			}
+			impacts, err := sensitivity.LoadImpacts(n, base, buses, delta)
+			if err != nil {
+				return nil, err
+			}
+			mare, solved := sensitivity.Consistency(impacts)
+			rows := make([]map[string]any, 0, len(impacts))
+			for _, im := range impacts {
+				rows = append(rows, map[string]any{
+					"bus_id":          im.BusID,
+					"delta_mw":        im.DeltaMW,
+					"lmp_predicted":   round2(im.LMPPredicted),
+					"cost_delta":      round2(im.CostDelta),
+					"cost_per_mw":     round2(im.CostPerMW),
+					"min_voltage_pu":  round4(im.MinVoltagePU),
+					"max_loading_pct": round2(im.MaxLoadingPct),
+					"solved":          im.Solved,
+				})
+			}
+			sort.Slice(rows, func(a, b int) bool {
+				return rows[a]["cost_per_mw"].(float64) > rows[b]["cost_per_mw"].(float64)
+			})
+			return map[string]any{
+				"case_name":             n.Name,
+				"delta_mw":              delta,
+				"impacts":               rows,
+				"lmp_consistency_error": round4(mare),
+				"solved_probes":         solved,
+			}, nil
+		},
+	}
+}
+
+func compareStrategyTool(ctx *session.Context) *Tool {
+	return &Tool{
+		Name: ToolCompareStrategy,
+		Description: "Compare economic (unconstrained ACOPF) against security-constrained operation " +
+			"(preventive SCOPF): costs, the security premium, and post-contingency violation counts.",
+		Input: schema.Obj("", map[string]*schema.Schema{
+			"max_rounds": schema.Int("SCOPF tightening rounds (default 3)").WithRange(1, 10),
+		}),
+		Output: schema.Obj("operation strategy comparison", map[string]*schema.Schema{
+			"economic_cost":    schema.Num("unconstrained cost $/h"),
+			"secure_cost":      schema.Num("security-constrained cost $/h"),
+			"security_premium": schema.Num("secure − economic $/h"),
+		}, "economic_cost", "secure_cost").WithExtra(),
+		Fn: func(args map[string]any) (any, error) {
+			n, err := ctx.Network()
+			if err != nil {
+				return nil, err
+			}
+			rounds := 3
+			if v, ok := args["max_rounds"].(float64); ok {
+				rounds = int(v)
+			}
+			cmp, err := scopf.Compare(n, scopf.Options{Screen: true, MaxRounds: rounds})
+			if err != nil {
+				return nil, err
+			}
+			ctx.AddProvenance("compare_strategies", fmt.Sprintf(
+				"economic=%.2f secure=%.2f premium=%.2f", cmp.Economic.ObjectiveCost,
+				cmp.Secure.Solution.ObjectiveCost, cmp.Secure.SecurityPremium))
+			return map[string]any{
+				"case_name":          n.Name,
+				"economic_cost":      round2(cmp.Economic.ObjectiveCost),
+				"secure_cost":        round2(cmp.Secure.Solution.ObjectiveCost),
+				"security_premium":   round2(cmp.Secure.Solution.ObjectiveCost - cmp.Economic.ObjectiveCost),
+				"premium_pct":        round2(cmp.PremiumPct),
+				"rounds":             cmp.Secure.Rounds,
+				"fully_secure":       cmp.Secure.Secure,
+				"violations_before":  cmp.Secure.ViolationsBefore,
+				"violations_after":   cmp.Secure.ViolationsAfter,
+				"worst_before_pct":   round2(cmp.Secure.WorstBeforePct),
+				"worst_after_pct":    round2(cmp.Secure.WorstAfterPct),
+				"tightened_branches": len(cmp.Secure.TightenedBranches),
+			}, nil
+		},
+	}
+}

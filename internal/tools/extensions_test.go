@@ -1,0 +1,115 @@
+package tools
+
+import (
+	"testing"
+
+	"gridmind/internal/session"
+)
+
+func extendedRegistry(t *testing.T) (*Registry, *session.Context) {
+	t.Helper()
+	sess := session.New(nil)
+	r := NewGridMind(sess)
+	if err := RegisterExtensions(r, sess); err != nil {
+		t.Fatal(err)
+	}
+	return r, sess
+}
+
+func TestExtensionsRegistered(t *testing.T) {
+	r, _ := extendedRegistry(t)
+	if len(r.Names()) != 11 {
+		t.Fatalf("registry has %d tools, want 7 paper tools + 4 extensions", len(r.Names()))
+	}
+	for _, name := range []string{ToolLoadSensitivity, ToolCompareStrategy, ToolGenOutage, ToolAssessQuality} {
+		if _, ok := r.Get(name); !ok {
+			t.Errorf("extension %s missing", name)
+		}
+	}
+	// The extended toolboxes advertise them.
+	if len(ExtendedACOPFToolNames()) != 6 {
+		t.Fatalf("extended ACOPF toolbox has %d entries", len(ExtendedACOPFToolNames()))
+	}
+	if len(ExtendedCAToolNames()) != 5 {
+		t.Fatalf("extended CA toolbox has %d entries", len(ExtendedCAToolNames()))
+	}
+}
+
+func TestLoadSensitivityTool(t *testing.T) {
+	r, _ := extendedRegistry(t)
+	if _, err := r.Invoke(ToolSolveACOPF, map[string]any{"case_name": "case14"}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Invoke(ToolLoadSensitivity, map[string]any{
+		"buses": []any{9, 14}, "delta_mw": 2.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := out.(map[string]any)
+	rows := m["impacts"].([]any)
+	if len(rows) != 2 {
+		t.Fatalf("impact rows %d", len(rows))
+	}
+	for _, raw := range rows {
+		row := raw.(map[string]any)
+		if row["solved"] != true {
+			t.Fatalf("probe not solved: %v", row)
+		}
+		if row["cost_per_mw"].(float64) <= 0 {
+			t.Fatalf("non-positive marginal cost: %v", row)
+		}
+	}
+	if m["lmp_consistency_error"].(float64) > 0.05 {
+		t.Fatalf("LMP consistency error %v too large", m["lmp_consistency_error"])
+	}
+}
+
+func TestLoadSensitivityDefaultBuses(t *testing.T) {
+	r, _ := extendedRegistry(t)
+	if _, err := r.Invoke(ToolSolveACOPF, map[string]any{"case_name": "case14"}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Invoke(ToolLoadSensitivity, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := out.(map[string]any)["impacts"].([]any)
+	if len(rows) != 3 {
+		t.Fatalf("default probes %d, want the 3 priciest buses", len(rows))
+	}
+}
+
+func TestLoadSensitivitySolvesWhenStale(t *testing.T) {
+	// The tool must self-heal: no prior ACOPF in the session.
+	r, sess := extendedRegistry(t)
+	if _, err := sess.LoadCase("case14"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Invoke(ToolLoadSensitivity, map[string]any{"buses": []any{9}}); err != nil {
+		t.Fatal(err)
+	}
+	if sol, fresh := sess.ACOPF(); sol == nil || !fresh {
+		t.Fatal("tool did not deposit the base solve")
+	}
+}
+
+func TestCompareStrategyTool(t *testing.T) {
+	r, _ := extendedRegistry(t)
+	if _, err := r.Invoke(ToolSolveACOPF, map[string]any{"case_name": "case57"}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Invoke(ToolCompareStrategy, map[string]any{"max_rounds": 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := out.(map[string]any)
+	econ := m["economic_cost"].(float64)
+	sec := m["secure_cost"].(float64)
+	if sec < econ-1e-6 {
+		t.Fatalf("secure %v cheaper than economic %v", sec, econ)
+	}
+	if m["violations_before"].(float64) > 0 && m["violations_after"].(float64) >= m["violations_before"].(float64) {
+		t.Fatalf("no security progress: %v -> %v", m["violations_before"], m["violations_after"])
+	}
+}

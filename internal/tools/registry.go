@@ -1,0 +1,157 @@
+// Package tools implements GridMind's typed function-tool layer: a
+// registry of schema-validated tools (the paper's "vetted toolbox of
+// deterministic power system solvers") plus the seven tools of Appendix
+// B.3 that the ACOPF and contingency-analysis agents call.
+//
+// Every invocation validates arguments against the tool's input schema
+// and the returned object against its output schema before the agent may
+// narrate it — the produce-validate-consume loop of §3.3. New tools
+// register with a schema and become visible to planners without touching
+// core logic.
+package tools
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"gridmind/internal/schema"
+)
+
+// Tool is one registered capability.
+type Tool struct {
+	Name        string
+	Description string
+	// Input and Output schemas are mandatory: unvalidated tools cannot be
+	// registered.
+	Input  *schema.Schema
+	Output *schema.Schema
+	// Fn executes the tool on already-validated arguments and returns a
+	// JSON-serializable result.
+	Fn func(args map[string]any) (any, error)
+}
+
+// Validation failures are distinguishable from execution failures so the
+// agents can choose the right recovery path.
+var (
+	ErrUnknownTool  = errors.New("tools: unknown tool")
+	ErrInputSchema  = errors.New("tools: input validation failed")
+	ErrOutputSchema = errors.New("tools: output validation failed")
+)
+
+// Registry holds tools and invocation statistics. It is safe for
+// concurrent use.
+type Registry struct {
+	mu    sync.Mutex
+	tools map[string]*Tool
+	// invocation counters per tool
+	calls            map[string]int
+	validationErrors int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{tools: map[string]*Tool{}, calls: map[string]int{}}
+}
+
+// Register adds a tool. Tools without complete schemas are rejected.
+func (r *Registry) Register(t *Tool) error {
+	if t.Name == "" || t.Fn == nil {
+		return errors.New("tools: tool needs a name and a function")
+	}
+	if t.Input == nil || t.Output == nil {
+		return fmt.Errorf("tools: %s: input and output schemas are mandatory", t.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.tools[t.Name]; dup {
+		return fmt.Errorf("tools: %s already registered", t.Name)
+	}
+	r.tools[t.Name] = t
+	return nil
+}
+
+// Get returns the named tool.
+func (r *Registry) Get(name string) (*Tool, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.tools[name]
+	return t, ok
+}
+
+// Names lists registered tool names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.tools))
+	for n := range r.tools {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// List returns all tools sorted by name (for advertising to LLM clients).
+func (r *Registry) List() []*Tool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Tool, 0, len(r.tools))
+	for _, t := range r.tools {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Invoke validates args, executes the tool, and validates + normalizes
+// the result. The returned value is generic JSON data (map/slice/scalar)
+// ready for storage in structured context.
+func (r *Registry) Invoke(name string, args map[string]any) (any, error) {
+	t, ok := r.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTool, name)
+	}
+	if args == nil {
+		args = map[string]any{}
+	}
+	norm, err := schema.Normalize(args)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrInputSchema, name, err)
+	}
+	normMap, _ := norm.(map[string]any)
+	if err := t.Input.Validate(normMap); err != nil {
+		r.countValidationError()
+		return nil, fmt.Errorf("%w: %s: %v", ErrInputSchema, name, err)
+	}
+	out, err := t.Fn(normMap)
+	if err != nil {
+		return nil, fmt.Errorf("tools: %s: %w", name, err)
+	}
+	validated, err := t.Output.ValidateValue(out)
+	if err != nil {
+		r.countValidationError()
+		return nil, fmt.Errorf("%w: %s: %v", ErrOutputSchema, name, err)
+	}
+	r.mu.Lock()
+	r.calls[name]++
+	r.mu.Unlock()
+	return validated, nil
+}
+
+func (r *Registry) countValidationError() {
+	r.mu.Lock()
+	r.validationErrors++
+	r.mu.Unlock()
+}
+
+// Stats reports per-tool call counts and cumulative validation errors.
+func (r *Registry) Stats() (calls map[string]int, validationErrors int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	calls = make(map[string]int, len(r.calls))
+	for k, v := range r.calls {
+		calls[k] = v
+	}
+	return calls, r.validationErrors
+}

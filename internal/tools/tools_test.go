@@ -1,0 +1,310 @@
+package tools
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gridmind/internal/schema"
+	"gridmind/internal/session"
+)
+
+func newSession(t *testing.T) *session.Context {
+	t.Helper()
+	return session.New(nil)
+}
+
+func TestRegistryRegisterRules(t *testing.T) {
+	r := NewRegistry()
+	ok := &Tool{
+		Name: "x", Description: "d",
+		Input:  schema.Obj("", map[string]*schema.Schema{}),
+		Output: schema.Obj("", map[string]*schema.Schema{}).WithExtra(),
+		Fn:     func(map[string]any) (any, error) { return map[string]any{}, nil },
+	}
+	if err := r.Register(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(ok); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := r.Register(&Tool{Name: "y", Fn: ok.Fn}); err == nil {
+		t.Fatal("schema-less tool accepted")
+	}
+	if err := r.Register(&Tool{Input: ok.Input, Output: ok.Output, Fn: ok.Fn}); err == nil {
+		t.Fatal("nameless tool accepted")
+	}
+}
+
+func TestInvokeValidatesInput(t *testing.T) {
+	r := NewRegistry()
+	_ = r.Register(&Tool{
+		Name: "add", Description: "",
+		Input: schema.Obj("", map[string]*schema.Schema{
+			"a": schema.Num(""), "b": schema.Num(""),
+		}, "a", "b"),
+		Output: schema.Obj("", map[string]*schema.Schema{"sum": schema.Num("")}, "sum"),
+		Fn: func(args map[string]any) (any, error) {
+			return map[string]any{"sum": args["a"].(float64) + args["b"].(float64)}, nil
+		},
+	})
+	out, err := r.Invoke("add", map[string]any{"a": 1.5, "b": 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.(map[string]any)["sum"].(float64) != 3.5 {
+		t.Fatalf("out = %v", out)
+	}
+	// Missing required arg → input schema error.
+	_, err = r.Invoke("add", map[string]any{"a": 1.0})
+	if !errors.Is(err, ErrInputSchema) {
+		t.Fatalf("err = %v, want ErrInputSchema", err)
+	}
+	// Unknown arg → input schema error (strict).
+	_, err = r.Invoke("add", map[string]any{"a": 1.0, "b": 2.0, "c": 3.0})
+	if !errors.Is(err, ErrInputSchema) {
+		t.Fatalf("err = %v", err)
+	}
+	// Unknown tool.
+	if _, err := r.Invoke("nope", nil); !errors.Is(err, ErrUnknownTool) {
+		t.Fatalf("err = %v", err)
+	}
+	_, vErrs := r.Stats()
+	if vErrs != 2 {
+		t.Fatalf("validation errors %d, want 2", vErrs)
+	}
+}
+
+func TestInvokeValidatesOutput(t *testing.T) {
+	r := NewRegistry()
+	_ = r.Register(&Tool{
+		Name: "bad", Description: "",
+		Input:  schema.Obj("", map[string]*schema.Schema{}),
+		Output: schema.Obj("", map[string]*schema.Schema{"v": schema.Num("")}, "v"),
+		Fn: func(map[string]any) (any, error) {
+			return map[string]any{"wrong_key": 1}, nil // violates output schema
+		},
+	})
+	_, err := r.Invoke("bad", nil)
+	if !errors.Is(err, ErrOutputSchema) {
+		t.Fatalf("err = %v, want ErrOutputSchema", err)
+	}
+}
+
+func TestGridMindRegistryComplete(t *testing.T) {
+	r := NewGridMind(newSession(t))
+	want := append(ACOPFToolNames(), CAToolNames()...)
+	for _, name := range want {
+		if _, ok := r.Get(name); !ok {
+			t.Errorf("tool %s missing", name)
+		}
+	}
+	if len(r.Names()) != 7 {
+		t.Fatalf("registry has %d tools, want 7 (Appendix B.3)", len(r.Names()))
+	}
+}
+
+func TestSolveACOPFTool(t *testing.T) {
+	sess := newSession(t)
+	r := NewGridMind(sess)
+	out, err := r.Invoke(ToolSolveACOPF, map[string]any{"case_name": "IEEE 14"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := out.(map[string]any)
+	if m["solved"] != true {
+		t.Fatalf("not solved: %v", m)
+	}
+	cost := m["objective_cost"].(float64)
+	if cost < 7900 || cost > 8300 {
+		t.Fatalf("cost %v outside case14 window", cost)
+	}
+	if m["max_mismatch_pu"].(float64) > 1e-4 {
+		t.Fatal("mismatch above the validation gate")
+	}
+	// Session artifact deposited.
+	if sol, fresh := sess.ACOPF(); sol == nil || !fresh {
+		t.Fatal("solution not stored in session")
+	}
+	// Unknown case.
+	if _, err := r.Invoke(ToolSolveACOPF, map[string]any{"case_name": "case9999"}); err == nil {
+		t.Fatal("unknown case accepted")
+	}
+}
+
+func TestModifyBusLoadTool(t *testing.T) {
+	sess := newSession(t)
+	r := NewGridMind(sess)
+	if _, err := r.Invoke(ToolSolveACOPF, map[string]any{"case_name": "case14"}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Invoke(ToolModifyBusLoad, map[string]any{"bus": 9, "p_mw": 50.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := out.(map[string]any)
+	if m["previous_load_mw"].(float64) != 29.5 {
+		t.Fatalf("previous load %v, want 29.5", m["previous_load_mw"])
+	}
+	if m["new_load_mw"].(float64) != 50.0 {
+		t.Fatalf("new load %v", m["new_load_mw"])
+	}
+	delta, ok := m["cost_delta"].(float64)
+	if !ok || delta <= 0 {
+		t.Fatalf("cost delta %v should be positive for a load increase", m["cost_delta"])
+	}
+	// Q defaults to preserving the power factor (29.5/16.6 at bus 9).
+	n, _ := sess.Network()
+	_, q := n.BusLoad(n.BusByID(9))
+	if q < 27 || q > 29 {
+		t.Fatalf("q %v, want ~28.1 (preserved power factor)", q)
+	}
+	// Unknown bus rejected.
+	if _, err := r.Invoke(ToolModifyBusLoad, map[string]any{"bus": 999, "p_mw": 10.0}); err == nil {
+		t.Fatal("unknown bus accepted")
+	}
+}
+
+func TestNetworkStatusTool(t *testing.T) {
+	sess := newSession(t)
+	r := NewGridMind(sess)
+	out, err := r.Invoke(ToolNetworkStatus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.(map[string]any)["case_loaded"] != false {
+		t.Fatal("empty session should report case_loaded=false")
+	}
+	_, _ = r.Invoke(ToolSolveACOPF, map[string]any{"case_name": "case14"})
+	out, err = r.Invoke(ToolNetworkStatus, map[string]any{"bus": 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := out.(map[string]any)
+	if m["buses"].(float64) != 14 || m["bus_load_mw"].(float64) != 29.5 {
+		t.Fatalf("status %v", m)
+	}
+	if m["solution_fresh"] != true {
+		t.Fatal("solution should be fresh")
+	}
+}
+
+func TestContingencyToolsFlow(t *testing.T) {
+	sess := newSession(t)
+	r := NewGridMind(sess)
+	out, err := r.Invoke(ToolSolveBaseCase, map[string]any{"case_name": "case30"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.(map[string]any)["converged"] != true {
+		t.Fatal("base case did not converge")
+	}
+	out, err = r.Invoke(ToolRunN1, map[string]any{"top_k": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := out.(map[string]any)
+	if m["total_outages"].(float64) != 41 {
+		t.Fatalf("outages %v, want 41", m["total_outages"])
+	}
+	crit := m["critical"].([]any)
+	if len(crit) != 3 {
+		t.Fatalf("critical list %d, want 3", len(crit))
+	}
+	// Specific contingency by bus pair.
+	out, err = r.Invoke(ToolAnalyzeOutage, map[string]any{"from_bus": 1, "to_bus": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.(map[string]any)["branch"].(float64) != 0 {
+		t.Fatal("bus pair 1-2 should resolve to branch 0")
+	}
+	// Status reports the sweep and cache.
+	out, err = r.Invoke(ToolContStatus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := out.(map[string]any)
+	if sm["sweep_available"] != true || sm["sweep_fresh"] != true {
+		t.Fatalf("status %v", sm)
+	}
+	if sm["cache_entries"].(float64) < 41 {
+		t.Fatalf("cache entries %v", sm["cache_entries"])
+	}
+}
+
+func TestRunN1StrategyChangesRanking(t *testing.T) {
+	sess := newSession(t)
+	r := NewGridMind(sess)
+	if _, err := r.Invoke(ToolSolveBaseCase, map[string]any{"case_name": "case118"}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Invoke(ToolRunN1, map[string]any{"top_k": 5, "strategy": "composite"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, missesAfterFirst := sess.ContCache().Stats()
+	b, err := r.Invoke(ToolRunN1, map[string]any{"top_k": 5, "strategy": "thermal-first"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	listOf := func(out any) []float64 {
+		var ids []float64
+		for _, c := range out.(map[string]any)["critical"].([]any) {
+			ids = append(ids, c.(map[string]any)["branch"].(float64))
+		}
+		return ids
+	}
+	la, lb := listOf(a), listOf(b)
+	same := len(la) == len(lb)
+	if same {
+		for i := range la {
+			if la[i] != lb[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Log("note: strategies agree on this network; acceptable but unexpected")
+	}
+	// The second invocation reuses the stored sweep artifact: no new
+	// per-outage solves happen (cache misses unchanged).
+	_, missesAfterSecond := sess.ContCache().Stats()
+	if missesAfterSecond != missesAfterFirst {
+		t.Fatalf("second sweep recomputed: misses %d -> %d", missesAfterFirst, missesAfterSecond)
+	}
+}
+
+func TestAnalyzeOutageErrors(t *testing.T) {
+	r := NewGridMind(newSession(t))
+	if _, err := r.Invoke(ToolSolveBaseCase, map[string]any{"case_name": "case14"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Invoke(ToolAnalyzeOutage, map[string]any{"branch": 9999}); err == nil {
+		t.Fatal("out-of-range branch accepted")
+	}
+	if _, err := r.Invoke(ToolAnalyzeOutage, map[string]any{"from_bus": 1, "to_bus": 14}); err == nil {
+		t.Fatal("nonexistent branch accepted")
+	}
+	if _, err := r.Invoke(ToolAnalyzeOutage, map[string]any{}); err == nil {
+		t.Fatal("missing identifiers accepted")
+	}
+	if !strings.Contains(
+		func() string {
+			_, err := r.Invoke(ToolAnalyzeOutage, map[string]any{"from_bus": 1})
+			return err.Error()
+		}(), "to_bus") {
+		t.Fatal("error should mention the missing to_bus")
+	}
+}
+
+func TestToolCallStats(t *testing.T) {
+	r := NewGridMind(newSession(t))
+	_, _ = r.Invoke(ToolSolveACOPF, map[string]any{"case_name": "case14"})
+	_, _ = r.Invoke(ToolNetworkStatus, nil)
+	calls, _ := r.Stats()
+	if calls[ToolSolveACOPF] != 1 || calls[ToolNetworkStatus] != 1 {
+		t.Fatalf("calls = %v", calls)
+	}
+}

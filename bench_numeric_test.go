@@ -1,0 +1,69 @@
+package gridmind_test
+
+import (
+	"testing"
+
+	"gridmind/internal/cases"
+	"gridmind/internal/contingency"
+	"gridmind/internal/model"
+	"gridmind/internal/powerflow"
+)
+
+// Numeric-core benchmarks tracked in BENCH_numeric.json: Ybus assembly,
+// a full Newton solve, and the N-1 sweep, each over the paper-scale cases.
+// Regenerate the JSON with:
+//
+//	go test -run '^$' -bench 'BuildYbus|NewtonSolve|N1Sweep' -benchmem .
+
+func benchBuildYbus(b *testing.B, caseName string) {
+	n := cases.MustLoad(caseName)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if y := model.BuildYbus(n); y.N != len(n.Buses) {
+			b.Fatal("bad ybus")
+		}
+	}
+}
+
+func BenchmarkBuildYbusCase57(b *testing.B)  { benchBuildYbus(b, "case57") }
+func BenchmarkBuildYbusCase118(b *testing.B) { benchBuildYbus(b, "case118") }
+func BenchmarkBuildYbusCase300(b *testing.B) { benchBuildYbus(b, "case300") }
+
+func benchNewtonSolve(b *testing.B, caseName string) {
+	n := cases.MustLoad(caseName)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := powerflow.Solve(n, powerflow.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("not converged")
+		}
+	}
+}
+
+func BenchmarkNewtonSolveCase57(b *testing.B)  { benchNewtonSolve(b, "case57") }
+func BenchmarkNewtonSolveCase118(b *testing.B) { benchNewtonSolve(b, "case118") }
+func BenchmarkNewtonSolveCase300(b *testing.B) { benchNewtonSolve(b, "case300") }
+
+func benchN1Sweep(b *testing.B, caseName string) {
+	n := cases.MustLoad(caseName)
+	base, err := powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := contingency.Analyze(n, base, contingency.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkN1SweepCase57(b *testing.B)      { benchN1Sweep(b, "case57") }
+func BenchmarkN1SweepCase118Full(b *testing.B) { benchN1Sweep(b, "case118") }
+func BenchmarkN1SweepCase300(b *testing.B)     { benchN1Sweep(b, "case300") }

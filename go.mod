@@ -1,0 +1,3 @@
+module gridmind
+
+go 1.24

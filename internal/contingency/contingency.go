@@ -124,6 +124,12 @@ type Options struct {
 	// CacheKeyPrefix disambiguates network states in the cache; callers
 	// pass the session's case + diff hash (§3.4 composite key).
 	CacheKeyPrefix string
+
+	// reorder shares the Jacobian fill-reducing ordering across the
+	// per-outage Newton solves: every outage network has the same bus set
+	// as the base, so the ordering is computed once per sweep instead of
+	// once per outage. Populated by Analyze before workers start.
+	reorder *powerflow.OrderingCache
 }
 
 func (o *Options) fill() {
@@ -167,6 +173,10 @@ func Analyze(n *model.Network, base *powerflow.Result, opts Options) (*ResultSet
 		if f.LoadingPct > rs.BaseMaxLoadingPct {
 			rs.BaseMaxLoadingPct = f.LoadingPct
 		}
+	}
+
+	if opts.reorder == nil {
+		opts.reorder = powerflow.NewOrderingCache()
 	}
 
 	// Optional linear screening stage: predict post-outage loadings with
@@ -247,7 +257,7 @@ func AnalyzeOne(n *model.Network, base *powerflow.Result, k int, opts Options) *
 		return out
 	}
 
-	pfOpts := powerflow.Options{EnforceQLimits: true}
+	pfOpts := powerflow.Options{EnforceQLimits: true, Reorder: opts.reorder}
 	if !opts.NoWarmStart {
 		pfOpts.Warm = base.Voltages.Clone()
 	}

@@ -37,6 +37,14 @@ type screener struct {
 	luBpp *sparse.LU
 	pqPos []int // bus -> position in the PQ block, -1 otherwise
 	pqBus []int // position -> bus
+	// Voltage-regulated buses (PV + slack with in-service generation) and
+	// their aggregate reactive state, for the Q-reserve trust check: the
+	// linear floor estimate assumes regulated buses hold their setpoints,
+	// which is only true while their generators have reactive headroom.
+	regBus   []int
+	qGenBase []float64 // per-bus base-case generator MVAr
+	qMinBus  []float64 // per-bus aggregate QMin, MVAr
+	qMaxBus  []float64 // per-bus aggregate QMax, MVAr
 	// baseSecure reports whether the base case itself satisfies the
 	// violation thresholds; screening certifies nothing otherwise.
 	baseSecure bool
@@ -50,6 +58,32 @@ const loadingAllowancePct = 2.0
 // voltScreenMarginPU is the required margin of the estimated post-outage
 // voltage floor above the violation threshold.
 const voltScreenMarginPU = 0.005
+
+// sagTrustPU is the largest predicted voltage sag for which the linear
+// Q-V estimate is trusted: beyond it the Q-V curve's steepening makes the
+// linearization optimistic, so the outage goes to the full AC path.
+const sagTrustPU = 0.02
+
+// sagSafetyFactor conservatively amplifies predicted sags before they are
+// compared against the violation threshold (the linear estimate is a
+// lower bound on the true sag in the trusted small-sag regime).
+const sagSafetyFactor = 2.0
+
+// qReserveMarginMVA is the minimum reactive headroom a regulated bus must
+// retain after the linearized post-outage reaction for the voltage
+// estimate to be trusted; the requirement scales up with the size of the
+// predicted reaction (a large linear estimate carries a large error bar).
+const qReserveMarginMVA = 2.0
+
+// weakFeedShare distrusts the estimate when the outaged branch supplied
+// more than this share of a PQ endpoint's total susceptance: the bus is
+// then weakly fed post-outage and its Q-V behaviour turns sharply
+// nonlinear, which the linear floor estimate cannot track.
+const weakFeedShare = 0.5
+
+// screenedAlgorithm labels outage results certified by the linear
+// two-stage screen rather than a full AC solve.
+const screenedAlgorithm = "lodf-1q-screened"
 
 func newScreener(n *model.Network, base *powerflow.Result, opts Options) (*screener, error) {
 	m, err := ptdf.Build(n)
@@ -81,15 +115,27 @@ func newScreener(n *model.Network, base *powerflow.Result, opts Options) (*scree
 	// Assemble and factorize the base B'' (−Im(Ybus) over PQ buses).
 	s.y = model.BuildYbus(n)
 	hasGen := make([]bool, len(n.Buses))
-	for _, g := range n.Gens {
-		if g.InService {
-			hasGen[g.Bus] = true
+	s.qGenBase = make([]float64, len(n.Buses))
+	s.qMinBus = make([]float64, len(n.Buses))
+	s.qMaxBus = make([]float64, len(n.Buses))
+	for gi, g := range n.Gens {
+		if !g.InService {
+			continue
 		}
+		hasGen[g.Bus] = true
+		s.qGenBase[g.Bus] += base.GenQ[gi]
+		s.qMinBus[g.Bus] += g.QMin
+		s.qMaxBus[g.Bus] += g.QMax
 	}
 	s.pqPos = make([]int, len(n.Buses))
 	for i, b := range n.Buses {
 		s.pqPos[i] = -1
 		if b.Type == model.Slack || (b.Type == model.PV && hasGen[i]) {
+			if hasGen[i] && b.Type != model.Slack {
+				// The slack's reserves absorb the system residual; only
+				// PV units are checked against their limits.
+				s.regBus = append(s.regBus, i)
+			}
 			continue
 		}
 		s.pqPos[i] = len(s.pqBus)
@@ -99,10 +145,10 @@ func newScreener(n *model.Network, base *powerflow.Result, opts Options) (*scree
 		return s, nil
 	}
 	bpp := sparse.NewCOO(len(s.pqBus), len(s.pqBus))
-	for _, nz := range s.y.NZ {
+	for p, nz := range s.y.NZ {
 		i, j := nz[0], nz[1]
 		if s.pqPos[i] >= 0 && s.pqPos[j] >= 0 {
-			bpp.Add(s.pqPos[i], s.pqPos[j], -imag(s.y.At(i, j)))
+			bpp.Add(s.pqPos[i], s.pqPos[j], -imag(s.y.NZv[p]))
 		}
 	}
 	if s.luBpp, err = sparse.Factorize(bpp.ToCSC(), sparse.Options{}); err != nil {
@@ -122,13 +168,33 @@ func (s *screener) trySecure(n *model.Network, k int, opts Options) (*OutageResu
 	if err != nil {
 		return nil, false // islanding or numerical trouble: full analysis
 	}
-	// Thermal stage: per-branch rule with the unaffected allowance.
+	// 1Q stage first: the linearized voltage solution also prices the
+	// reactive redistribution the thermal stage needs.
+	dv, ok := s.qvSolve(n, k, flows)
+	if !ok {
+		return nil, false
+	}
+	// Thermal stage: active flows from the LODFs; reactive flows shifted
+	// by the branch Q-flow change the voltage solution implies
+	// (ΔQ_f ≈ b_series·(ΔV_f − ΔV_t)), so MVAr-heavy branches are not
+	// invisible to the screen. The worse of {carried-over, shifted} Q is
+	// used per branch, with the unaffected allowance.
 	var worst float64
 	for b, br := range n.Branches {
 		if !br.InService || br.RateMVA <= 0 || b == k {
 			continue
 		}
-		pct := 100 * math.Hypot(flows[b], s.preQ[b]) / br.RateMVA
+		var dvf, dvt float64
+		if p := s.pqPos[br.From]; p >= 0 {
+			dvf = dv[p]
+		}
+		if p := s.pqPos[br.To]; p >= 0 {
+			dvt = dv[p]
+		}
+		bser := br.X / (br.R*br.R + br.X*br.X)
+		shifted := s.preQ[b] + bser*(dvf-dvt)*n.BaseMVA
+		q := math.Max(math.Abs(s.preQ[b]), math.Abs(shifted))
+		pct := 100 * math.Hypot(flows[b], q) / br.RateMVA
 		if pct > worst {
 			worst = pct
 		}
@@ -136,10 +202,10 @@ func (s *screener) trySecure(n *model.Network, k int, opts Options) (*OutageResu
 			return nil, false
 		}
 	}
-	// Voltage stage: estimated post-outage floor must clear the
-	// threshold with margin.
-	estMin, ok := s.estimateVoltageFloor(n, k)
-	if !ok || estMin < opts.VoltLow+voltScreenMarginPU {
+	// Voltage stage: the estimated post-outage extremes must clear both
+	// thresholds with margin.
+	estMin, estMax, ok := s.boundsFromDV(n, dv)
+	if !ok || estMin < opts.VoltLow+voltScreenMarginPU || estMax > opts.VoltHigh-voltScreenMarginPU {
 		return nil, false
 	}
 
@@ -152,38 +218,92 @@ func (s *screener) trySecure(n *model.Network, k int, opts Options) (*OutageResu
 		Converged:     true,
 		MaxLoadingPct: worst,
 		MinVoltagePU:  estMin,
-		Algorithm:     "lodf-1q-screened",
+		Algorithm:     screenedAlgorithm,
 	}
 	out.Severity = severity(out, opts)
 	return out, true
 }
 
-// estimateVoltageFloor solves the fast-decoupled Q-V equation with the
-// branch removed via a Woodbury update of the factorized base B”. It
-// returns the estimated minimum post-outage voltage and whether the
-// estimate is trustworthy.
-func (s *screener) estimateVoltageFloor(n *model.Network, k int) (float64, bool) {
+// qvSolve solves the fast-decoupled Q-V equation with branch k removed
+// via a Woodbury update of the factorized base B”, computing the
+// linearized post-outage voltage change of every PQ bus (the 1Q stage).
+// flows are the LODF-predicted post-outage MW flows (computed internally
+// when nil); they feed the reactive-loss term of the forcing. It returns
+// ok=false when the estimate cannot be trusted — a weakly-fed endpoint,
+// numerical trouble, or a regulated bus whose generators would be pushed
+// near a reactive limit by the outage — which routes the outage to the
+// full AC path.
+func (s *screener) qvSolve(n *model.Network, k int, flows []float64) ([]float64, bool) {
 	if s.luBpp == nil || len(s.pqBus) == 0 {
-		return 0, false
+		return nil, false
 	}
 	br := n.Branches[k]
 	f, t := s.pqPos[br.From], s.pqPos[br.To]
 
-	// ΔQ: removing the branch frees the reactive power it absorbed at
-	// each (PQ) endpoint; the mismatch pushes the Q-V equation.
-	npq := len(s.pqBus)
-	dq := make([]float64, npq)
-	if f >= 0 {
-		dq[f] = -s.preQ[k] / n.BaseMVA / math.Max(s.baseVm[br.From], 0.5)
+	// Weak-feed distrust: a PQ endpoint that loses most of its susceptance
+	// with the branch turns sharply nonlinear.
+	if f >= 0 && -imag(s.y.Yff[k]) > weakFeedShare*(-imag(s.y.Diag(br.From))) {
+		return nil, false
 	}
-	if t >= 0 {
-		dq[t] = -s.preQTo[k] / n.BaseMVA / math.Max(s.baseVm[br.To], 0.5)
+	if t >= 0 && -imag(s.y.Ytt[k]) > weakFeedShare*(-imag(s.y.Diag(br.To))) {
+		return nil, false
 	}
 
-	// Base solve.
-	x0, err := s.luBpp.Solve(dq)
-	if err != nil {
-		return 0, false
+	if flows == nil {
+		var err error
+		if flows, err = s.factors.PostOutageFlows(s.preP, k); err != nil {
+			return nil, false
+		}
+	}
+
+	// ΔQ: removing the branch frees the reactive power it absorbed at
+	// each (PQ) endpoint; the mismatch pushes the Q-V equation. The
+	// screener runs from concurrent sweep workers, so the scratch buffers
+	// are per call; SolveInto keeps it to one rhs + one workspace.
+	npq := len(s.pqBus)
+	dq := make([]float64, npq)
+	work := make([]float64, npq)
+	// Sign: preQ is the MVAr a bus sends INTO the branch; with the branch
+	// gone that power is surplus at the bus, so the mismatch driving the
+	// Q-V equation is +preQ (a bus that was fed through the branch has
+	// preQ < 0 and correctly sags).
+	if f >= 0 {
+		dq[f] = s.preQ[k] / n.BaseMVA / math.Max(s.baseVm[br.From], 0.5)
+	}
+	if t >= 0 {
+		dq[t] = s.preQTo[k] / n.BaseMVA / math.Max(s.baseVm[br.To], 0.5)
+	}
+
+	// Rerouted active power raises series reactive losses (ΔQ ≈ X·ΔI²)
+	// across the surviving branches — the dominant sag driver the
+	// endpoint terms alone miss. Each branch's loss increase is drawn
+	// half from each terminal: PQ terminals join the forcing vector,
+	// regulated terminals burden their generators (checked below).
+	lossReg := map[int]float64(nil)
+	for b, bb := range n.Branches {
+		if !bb.InService || b == k || bb.X == 0 {
+			continue
+		}
+		dql := bb.X * (flows[b]*flows[b] - s.preP[b]*s.preP[b]) / (n.BaseMVA * n.BaseMVA)
+		if dql == 0 {
+			continue
+		}
+		for _, end := range [2]int{bb.From, bb.To} {
+			if p := s.pqPos[end]; p >= 0 {
+				dq[p] -= dql / 2 / math.Max(s.baseVm[end], 0.5)
+			} else {
+				if lossReg == nil {
+					lossReg = make(map[int]float64)
+				}
+				lossReg[end] += dql / 2
+			}
+		}
+	}
+
+	// Base solve (in place: dst aliases the rhs).
+	x0 := dq
+	if err := s.luBpp.SolveInto(x0, dq, work); err != nil {
+		return nil, false
 	}
 
 	// Woodbury correction for B''_post = B'' − U·S·Uᵀ where S holds the
@@ -214,11 +334,10 @@ func (s *screener) estimateVoltageFloor(n *model.Network, k int) (float64, bool)
 		// Solve B''·u_j = e_cols[j].
 		us := make([][]float64, m)
 		for j, c := range cols {
-			e := make([]float64, npq)
-			e[c] = 1
-			u, err := s.luBpp.Solve(e)
-			if err != nil {
-				return 0, false
+			u := make([]float64, npq)
+			u[c] = 1
+			if err := s.luBpp.SolveInto(u, u, work); err != nil {
+				return nil, false
 			}
 			us[j] = u
 		}
@@ -231,7 +350,7 @@ func (s *screener) estimateVoltageFloor(n *model.Network, k int) (float64, bool)
 		}
 		sInv, ok := inv2(sMat, m)
 		if !ok {
-			return 0, false
+			return nil, false
 		}
 		var c [2][2]float64
 		for a := 0; a < m; a++ {
@@ -241,7 +360,7 @@ func (s *screener) estimateVoltageFloor(n *model.Network, k int) (float64, bool)
 		}
 		cInv, ok := inv2(c, m)
 		if !ok {
-			return 0, false // singular: outage is radial in the Q network
+			return nil, false // singular: outage is radial in the Q network
 		}
 		// dv = x0 + U_sol · C⁻¹ · (Uᵀ x0) with U_sol[j] = B''⁻¹ e_j.
 		var w [2]float64
@@ -259,20 +378,74 @@ func (s *screener) estimateVoltageFloor(n *model.Network, k int) (float64, bool)
 		}
 	}
 
-	est := math.Inf(1)
+	// Q-reserve trust check: the estimate pins regulated buses at their
+	// setpoints, which holds only while their generators stay inside
+	// reactive limits. Linearize each PV bus's reaction — the Q freed by
+	// the outage at that bus plus the B''-coupled response to the PQ
+	// voltage changes — and distrust the whole estimate if any unit would
+	// be pushed within the margin of a limit (the AC path would switch it
+	// PV→PQ and the bus would sag in a way the linear model cannot see).
+	for _, g := range s.regBus {
+		// Direct terms (freed branch flow, loss shares) are ΔQ in p.u.
+		// already; the B''-coupled response is ΔQ/V and needs the V_g
+		// scale back, matching the ΔQ/V convention of the PQ forcing.
+		dq := lossReg[g]
+		if br.From == g {
+			dq -= s.preQ[k] / n.BaseMVA
+		} else if br.To == g {
+			dq -= s.preQTo[k] / n.BaseMVA
+		}
+		var react float64
+		for p := s.y.RowPtr[g]; p < s.y.RowPtr[g+1]; p++ {
+			if jp := s.pqPos[s.y.NZ[p][1]]; jp >= 0 {
+				react += -imag(s.y.NZv[p]) * dv[jp]
+			}
+		}
+		dqMVA := (dq + react*math.Max(s.baseVm[g], 0.5)) * n.BaseMVA
+		qNew := s.qGenBase[g] + dqMVA
+		// The margin scales with the predicted reaction: a big linear
+		// estimate carries a proportionally big error bar.
+		margin := math.Max(qReserveMarginMVA, math.Abs(dqMVA))
+		if qNew > s.qMaxBus[g]-margin || qNew < s.qMinBus[g]+margin {
+			return nil, false
+		}
+	}
+
+	return dv, true
+}
+
+// boundsFromDV turns the PQ voltage-change vector into conservative
+// post-outage voltage bounds: when forming the floor, predicted rises are
+// ignored and sags amplified by sagSafetyFactor; when forming the ceiling,
+// symmetrically, sags are ignored and rises amplified. Any |change| beyond
+// sagTrustPU distrusts the whole estimate (outside the small-signal regime
+// the linearization is systematically optimistic).
+func (s *screener) boundsFromDV(n *model.Network, dv []float64) (lo, hi float64, ok bool) {
+	lo, hi = math.Inf(1), math.Inf(-1)
 	for p, bus := range s.pqBus {
-		v := s.baseVm[bus] + dv[p]
-		if v < est {
-			est = v
+		d := dv[p]
+		if d > sagTrustPU || -d > sagTrustPU {
+			return 0, 0, false
+		}
+		if v := s.baseVm[bus] + sagSafetyFactor*math.Min(d, 0); v < lo {
+			lo = v
+		}
+		if v := s.baseVm[bus] + sagSafetyFactor*math.Max(d, 0); v > hi {
+			hi = v
 		}
 	}
 	// Non-PQ buses hold their setpoints.
 	for i := range n.Buses {
-		if s.pqPos[i] < 0 && s.baseVm[i] < est {
-			est = s.baseVm[i]
+		if s.pqPos[i] < 0 {
+			if s.baseVm[i] < lo {
+				lo = s.baseVm[i]
+			}
+			if s.baseVm[i] > hi {
+				hi = s.baseVm[i]
+			}
 		}
 	}
-	return est, true
+	return lo, hi, true
 }
 
 // inv2 inverts an m×m (m ≤ 2) matrix stored in a fixed array.

@@ -32,7 +32,7 @@ func TestDCScreeningIsConservative(t *testing.T) {
 			f := &full.Outages[i]
 			s := &screenedRS.Outages[i]
 			insecure := len(f.Overloads) > 0 || f.Islanded || !f.Converged || len(f.VoltViols) > 0
-			if insecure && s.Algorithm == "lodf-screened" {
+			if insecure && s.Algorithm == screenedAlgorithm {
 				t.Errorf("%s: outage of branch %d was screened secure but AC finds %d overloads / %d voltage violations (islanded=%v)",
 					name, f.Branch, len(f.Overloads), len(f.VoltViols), f.Islanded)
 			}

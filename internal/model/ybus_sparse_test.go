@@ -1,0 +1,83 @@
+package model
+
+import (
+	"math/cmplx"
+	"testing"
+)
+
+// denseYbus accumulates the admittance matrix densely from the two-port
+// branch admittances — the reference the sparse storage must match.
+func denseYbus(n *Network, y *Ybus) []complex128 {
+	nb := len(n.Buses)
+	d := make([]complex128, nb*nb)
+	for i, b := range n.Buses {
+		d[i*nb+i] += complex(b.GS/n.BaseMVA, b.BS/n.BaseMVA)
+	}
+	for k, br := range n.Branches {
+		if !br.InService {
+			continue
+		}
+		d[br.From*nb+br.From] += y.Yff[k]
+		d[br.From*nb+br.To] += y.Yft[k]
+		d[br.To*nb+br.From] += y.Ytf[k]
+		d[br.To*nb+br.To] += y.Ytt[k]
+	}
+	return d
+}
+
+func TestYbusSparseMatchesDense(t *testing.T) {
+	n := validNet()
+	y := BuildYbus(n)
+	d := denseYbus(n, y)
+	nb := len(n.Buses)
+	for i := 0; i < nb; i++ {
+		for j := 0; j < nb; j++ {
+			if cmplx.Abs(y.At(i, j)-d[i*nb+j]) > 1e-14 {
+				t.Fatalf("At(%d,%d) = %v, dense %v", i, j, y.At(i, j), d[i*nb+j])
+			}
+		}
+	}
+}
+
+func TestYbusStructure(t *testing.T) {
+	n := validNet()
+	y := BuildYbus(n)
+	if len(y.NZ) != len(y.NZv) {
+		t.Fatalf("NZ/NZv lengths disagree: %d vs %d", len(y.NZ), len(y.NZv))
+	}
+	if len(y.RowPtr) != y.N+1 || y.RowPtr[y.N] != len(y.NZ) {
+		t.Fatalf("bad RowPtr %v for %d entries", y.RowPtr, len(y.NZ))
+	}
+	// Entries sorted row-major, unique, each row span consistent.
+	for p := 1; p < len(y.NZ); p++ {
+		a, b := y.NZ[p-1], y.NZ[p]
+		if a[0] > b[0] || (a[0] == b[0] && a[1] >= b[1]) {
+			t.Fatalf("NZ not strictly row-major sorted at %d: %v then %v", p, a, b)
+		}
+	}
+	for i := 0; i < y.N; i++ {
+		for p := y.RowPtr[i]; p < y.RowPtr[i+1]; p++ {
+			if y.NZ[p][0] != i {
+				t.Fatalf("RowPtr span of row %d contains entry %v", i, y.NZ[p])
+			}
+		}
+		// Diagonal always structural, Diag agrees with At.
+		if y.NZ[y.DiagIdx[i]] != [2]int{i, i} {
+			t.Fatalf("DiagIdx[%d] points at %v", i, y.NZ[y.DiagIdx[i]])
+		}
+		if y.Diag(i) != y.At(i, i) {
+			t.Fatalf("Diag(%d) = %v, At = %v", i, y.Diag(i), y.At(i, i))
+		}
+	}
+}
+
+func TestYbusAtMissingEntryZero(t *testing.T) {
+	n := validNet()
+	// Remove branch 0-2 coupling by taking branch 1 (1-2) out: 0 and 2
+	// remain coupled only through branch paths that exist.
+	y := BuildYbus(n)
+	// validNet has branches 0-1 and 1-2, so (0,2) is structurally absent.
+	if y.At(0, 2) != 0 {
+		t.Fatalf("At(0,2) = %v want structural zero", y.At(0, 2))
+	}
+}

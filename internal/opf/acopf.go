@@ -21,8 +21,10 @@ type acopf struct {
 	// into gens.
 	gens  []int
 	genOf [][]int
-	// nbrs adjacency: for each bus, the neighboring buses with Y_ik ≠ 0.
+	// nbrs adjacency: for each bus, the neighboring buses with Y_ik ≠ 0;
+	// nbrv holds the aligned transfer admittances Y_ik.
 	nbrs [][]int
+	nbrv [][]complex128
 	// rated lists in-service branches with a thermal rating.
 	rated []int
 	// bound rows: variable index with lower/upper values.
@@ -67,9 +69,11 @@ func newACOPF(n *model.Network) (*acopf, error) {
 		return nil, fmt.Errorf("opf: %s has no in-service generators", n.Name)
 	}
 	a.nbrs = make([][]int, a.nb)
-	for _, nz := range a.y.NZ {
+	a.nbrv = make([][]complex128, a.nb)
+	for p, nz := range a.y.NZ {
 		if nz[0] != nz[1] {
 			a.nbrs[nz[0]] = append(a.nbrs[nz[0]], nz[1])
+			a.nbrv[nz[0]] = append(a.nbrv[nz[0]], a.y.NZv[p])
 		}
 	}
 	for k, br := range n.Branches {
@@ -158,14 +162,14 @@ func (a *acopf) eval(x []float64) *nlpEval {
 
 	// Nodal balance: g_P[i] = P_i(V) − ΣPg + Pd ; g_Q analogous.
 	for i := 0; i < nb; i++ {
-		yii := a.y.At(i, i)
+		yii := a.y.Diag(i)
 		gii, bii := real(yii), imag(yii)
 		pi := gii * vm[i] * vm[i]
 		qi := -bii * vm[i] * vm[i]
 		rowP := []jentry{{a.ixVa(i), 0}, {a.ixVm(i), 2 * gii * vm[i]}}
 		rowQ := []jentry{{a.ixVa(i), 0}, {a.ixVm(i), -2 * bii * vm[i]}}
-		for _, k := range a.nbrs[i] {
-			yik := a.y.At(i, k)
+		for t, k := range a.nbrs[i] {
+			yik := a.nbrv[i][t]
 			gik, bik := real(yik), imag(yik)
 			tp := evalPair(gik, bik, vm[i], vm[k], va[i], va[k])
 			tq := evalPair(-bik, gik, vm[i], vm[k], va[i], va[k])
@@ -282,10 +286,10 @@ func (a *acopf) hessian(x, lam, mu []float64) *sparse.COO {
 		if lp == 0 && lq == 0 {
 			continue
 		}
-		yii := a.y.At(i, i)
+		yii := a.y.Diag(i)
 		hss.Add(a.ixVm(i), a.ixVm(i), lp*2*real(yii)+lq*(-2*imag(yii)))
-		for _, k := range a.nbrs[i] {
-			yik := a.y.At(i, k)
+		for t, k := range a.nbrs[i] {
+			yik := a.nbrv[i][t]
 			gik, bik := real(yik), imag(yik)
 			tp := evalPair(gik, bik, vm[i], vm[k], va[i], va[k])
 			tq := evalPair(-bik, gik, vm[i], vm[k], va[i], va[k])

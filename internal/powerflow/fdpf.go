@@ -63,10 +63,10 @@ func fdpfInner(n *model.Network, y *model.Ybus, c *classification, vm, va []floa
 	if nm > 0 {
 		// B'': −Im(Ybus) restricted to PQ buses.
 		bpp := sparse.NewCOO(nm, nm)
-		for _, nz := range y.NZ {
+		for k, nz := range y.NZ {
 			i, j := nz[0], nz[1]
 			if mPos[i] >= 0 && mPos[j] >= 0 {
-				bpp.Add(mPos[i], mPos[j], -imag(y.At(i, j)))
+				bpp.Add(mPos[i], mPos[j], -imag(y.NZv[k]))
 			}
 		}
 		luQ, err = sparse.Factorize(bpp.ToCSC(), sparse.Options{})
@@ -77,16 +77,21 @@ func fdpfInner(n *model.Network, y *model.Ybus, c *classification, vm, va []floa
 
 	rhsP := make([]float64, na)
 	rhsQ := make([]float64, nm)
+	dva := make([]float64, na)
+	dvm := make([]float64, nm)
+	workP := make([]float64, na)
+	workQ := make([]float64, nm)
+	p := make([]float64, nb)
+	q := make([]float64, nb)
 	var maxMis float64
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		p, q := injections(y, vm, va)
+		injectionsInto(y, vm, va, p, q)
 		maxMis = fdpfMismatch(c, aPos, mPos, vm, p, q, rhsP, rhsQ)
 		if maxMis < opts.Tol {
 			return iter - 1, maxMis, true, nil
 		}
 		// P-θ half step.
-		dva, err := luP.Solve(rhsP)
-		if err != nil {
+		if err := luP.SolveInto(dva, rhsP, workP); err != nil {
 			return iter, maxMis, false, err
 		}
 		for i := 0; i < nb; i++ {
@@ -96,10 +101,9 @@ func fdpfInner(n *model.Network, y *model.Ybus, c *classification, vm, va []floa
 		}
 		// Q-V half step.
 		if nm > 0 {
-			p, q = injections(y, vm, va)
+			injectionsInto(y, vm, va, p, q)
 			fdpfMismatch(c, aPos, mPos, vm, p, q, rhsP, rhsQ)
-			dvm, err := luQ.Solve(rhsQ)
-			if err != nil {
+			if err := luQ.SolveInto(dvm, rhsQ, workQ); err != nil {
 				return iter, maxMis, false, err
 			}
 			for i := 0; i < nb; i++ {
@@ -112,7 +116,7 @@ func fdpfInner(n *model.Network, y *model.Ybus, c *classification, vm, va []floa
 			}
 		}
 	}
-	p, q := injections(y, vm, va)
+	injectionsInto(y, vm, va, p, q)
 	maxMis = fdpfMismatch(c, aPos, mPos, vm, p, q, rhsP, rhsQ)
 	return opts.MaxIter, maxMis, maxMis < opts.Tol, nil
 }

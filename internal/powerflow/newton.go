@@ -8,9 +8,14 @@ import (
 )
 
 // newtonInner runs full Newton-Raphson iterations for a fixed PV/PQ split.
-// The unknown vector is [Va at non-slack buses; Vm at PQ buses]; the
-// Jacobian is assembled in triplet form from the Ybus structural nonzeros
-// and solved with the sparse LU.
+// The unknown vector is [Va at non-slack buses; Vm at PQ buses].
+//
+// The Jacobian sparsity pattern is fixed by the Ybus structural nonzeros,
+// so the symbolic CSC is compiled once per solve and only its values are
+// refilled in place each iteration; the LU likewise keeps its symbolic
+// analysis (fill pattern, pivot order) from the first iteration and only
+// refactorizes numerically afterwards. Steady-state iterations therefore
+// perform no pattern construction and no per-iteration allocation.
 func newtonInner(n *model.Network, y *model.Ybus, c *classification, vm, va []float64, opts Options) (int, float64, bool, error) {
 	nb := len(n.Buses)
 	// Index maps: bus -> position in the angle block / magnitude block.
@@ -42,24 +47,39 @@ func newtonInner(n *model.Network, y *model.Ybus, c *classification, vm, va []fl
 	}
 
 	rhs := make([]float64, dim)
-	var colPerm []int // reuse the fill-reducing order across iterations
+	dx := make([]float64, dim)
+	work := make([]float64, dim)
+	p := make([]float64, nb)
+	q := make([]float64, nb)
+	jac := newJacobian(y, aPos, mPos, dim)
+	var lu *sparse.LU
+	var colPerm []int
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		p, q := injections(y, vm, va)
+		injectionsInto(y, vm, va, p, q)
 		maxMis := mismatchInto(c, isPQ, aPos, mPos, p, q, rhs)
 		if maxMis < opts.Tol {
 			return iter - 1, maxMis, true, nil
 		}
 
-		jac := assembleJacobian(y, aPos, mPos, vm, va, p, q, dim)
-		if colPerm == nil {
-			colPerm = sparse.RCM(jac)
+		jac.refill(y, aPos, mPos, vm, va, p, q)
+		if lu == nil {
+			if colPerm = lookupOrdering(opts.Reorder, dim); colPerm == nil {
+				colPerm = sparse.MinDegree(jac.mat)
+				storeOrdering(opts.Reorder, dim, colPerm)
+			}
+			var err error
+			if lu, err = sparse.Factorize(jac.mat, sparse.Options{ColPerm: colPerm}); err != nil {
+				return iter, maxMis, false, err
+			}
+		} else if err := lu.Refactorize(jac.mat); err != nil {
+			// Frozen pivot order hit a zero pivot; redo the factorization
+			// with fresh row pivoting. The column pre-order stays valid —
+			// only the pivot choices went stale.
+			if lu, err = sparse.Factorize(jac.mat, sparse.Options{ColPerm: colPerm}); err != nil {
+				return iter, maxMis, false, err
+			}
 		}
-		lu, err := sparse.Factorize(jac, sparse.Options{ColPerm: colPerm})
-		if err != nil {
-			return iter, maxMis, false, err
-		}
-		dx, err := lu.Solve(rhs)
-		if err != nil {
+		if err := lu.SolveInto(dx, rhs, work); err != nil {
 			return iter, maxMis, false, err
 		}
 		for i := 0; i < nb; i++ {
@@ -74,7 +94,7 @@ func newtonInner(n *model.Network, y *model.Ybus, c *classification, vm, va []fl
 			}
 		}
 	}
-	p, q := injections(y, vm, va)
+	injectionsInto(y, vm, va, p, q)
 	maxMis := mismatchInto(c, isPQ, aPos, mPos, p, q, rhs)
 	return opts.MaxIter, maxMis, maxMis < opts.Tol, nil
 }
@@ -82,23 +102,31 @@ func newtonInner(n *model.Network, y *model.Ybus, c *classification, vm, va []fl
 // injections evaluates real and reactive nodal injections in p.u. for the
 // polar voltage state, iterating only structural nonzeros.
 func injections(y *model.Ybus, vm, va []float64) (p, q []float64) {
-	nb := y.N
-	p = make([]float64, nb)
-	q = make([]float64, nb)
-	for _, nz := range y.NZ {
-		i, j := nz[0], nz[1]
-		yij := y.At(i, j)
+	p = make([]float64, y.N)
+	q = make([]float64, y.N)
+	injectionsInto(y, vm, va, p, q)
+	return p, q
+}
+
+// injectionsInto is the allocation-free form of injections: it overwrites
+// p and q (length nb) in place.
+func injectionsInto(y *model.Ybus, vm, va []float64, p, q []float64) {
+	for i := range p {
+		p[i], q[i] = 0, 0
+	}
+	for k, nz := range y.NZ {
+		yij := y.NZv[k]
 		g, b := real(yij), imag(yij)
 		if g == 0 && b == 0 {
 			continue
 		}
+		i, j := nz[0], nz[1]
 		th := va[i] - va[j]
 		ct, st := math.Cos(th), math.Sin(th)
 		vv := vm[i] * vm[j]
 		p[i] += vv * (g*ct + b*st)
 		q[i] += vv * (g*st - b*ct)
 	}
-	return p, q
 }
 
 // mismatchInto writes [ΔP; ΔQ] into rhs and returns the max abs mismatch.
@@ -123,60 +151,132 @@ func mismatchInto(c *classification, isPQ []bool, aPos, mPos []int, p, q, rhs []
 	return maxMis
 }
 
-// assembleJacobian builds the polar power flow Jacobian
+// jacobian is the polar power flow Jacobian
 //
 //	[ dP/dVa  dP/dVm ]
 //	[ dQ/dVa  dQ/dVm ]
 //
-// restricted to non-slack angles and PQ magnitudes.
-func assembleJacobian(y *model.Ybus, aPos, mPos []int, vm, va, p, q []float64, dim int) *sparse.CSC {
-	coo := sparse.NewCOO(dim, dim)
-	for _, nz := range y.NZ {
-		i, j := nz[0], nz[1]
-		yij := y.At(i, j)
-		g, b := real(yij), imag(yij)
-		if i == j {
-			vi := vm[i]
-			if aPos[i] >= 0 {
-				// dP_i/dVa_i, dP_i/dVm_i
-				coo.Add(aPos[i], aPos[i], -q[i]-b*vi*vi)
-				if mPos[i] >= 0 {
-					coo.Add(aPos[i], mPos[i], p[i]/vi+g*vi)
-				}
-			}
+// restricted to non-slack angles and PQ magnitudes, with a fixed symbolic
+// pattern compiled from the Ybus structural nonzeros. refill overwrites
+// mat's values in place; the emission order of the symbolic and numeric
+// walks must stay identical (each Ybus nonzero maps to a unique set of
+// Jacobian coordinates, so the slot map is a bijection).
+type jacobian struct {
+	mat  *sparse.CSC
+	slot []int
+}
+
+// newJacobian compiles the symbolic pattern once for the given PV/PQ split.
+func newJacobian(y *model.Ybus, aPos, mPos []int, dim int) *jacobian {
+	ri := make([]int, 0, 4*len(y.NZ))
+	ci := make([]int, 0, 4*len(y.NZ))
+	emit := func(r, c int) {
+		ri = append(ri, r)
+		ci = append(ci, c)
+	}
+	walkJacobian(y, aPos, mPos, func(i int) {
+		if aPos[i] >= 0 {
+			emit(aPos[i], aPos[i])
 			if mPos[i] >= 0 {
-				// dQ_i/dVa_i, dQ_i/dVm_i
-				if aPos[i] >= 0 {
-					coo.Add(mPos[i], aPos[i], p[i]-g*vi*vi)
-				}
-				coo.Add(mPos[i], mPos[i], q[i]/vi-b*vi)
+				emit(aPos[i], mPos[i])
 			}
-			continue
 		}
+		if mPos[i] >= 0 {
+			if aPos[i] >= 0 {
+				emit(mPos[i], aPos[i])
+			}
+			emit(mPos[i], mPos[i])
+		}
+	}, func(i, j int, _ complex128) {
+		if aPos[i] >= 0 {
+			if aPos[j] >= 0 {
+				emit(aPos[i], aPos[j])
+			}
+			if mPos[j] >= 0 {
+				emit(aPos[i], mPos[j])
+			}
+		}
+		if mPos[i] >= 0 {
+			if aPos[j] >= 0 {
+				emit(mPos[i], aPos[j])
+			}
+			if mPos[j] >= 0 {
+				emit(mPos[i], mPos[j])
+			}
+		}
+	})
+	mat, slot := sparse.CompilePattern(dim, dim, ri, ci)
+	return &jacobian{mat: mat, slot: slot}
+}
+
+// refill recomputes the Jacobian values at the current state, writing
+// through the slot map. No allocation, no pattern work.
+func (ja *jacobian) refill(y *model.Ybus, aPos, mPos []int, vm, va, p, q []float64) {
+	val := ja.mat.Values()
+	k := 0
+	put := func(v float64) {
+		val[ja.slot[k]] = v
+		k++
+	}
+	walkJacobian(y, aPos, mPos, func(i int) {
+		yii := y.Diag(i)
+		g, b := real(yii), imag(yii)
+		vi := vm[i]
+		if aPos[i] >= 0 {
+			put(-q[i] - b*vi*vi) // dP_i/dVa_i
+			if mPos[i] >= 0 {
+				put(p[i]/vi + g*vi) // dP_i/dVm_i
+			}
+		}
+		if mPos[i] >= 0 {
+			if aPos[i] >= 0 {
+				put(p[i] - g*vi*vi) // dQ_i/dVa_i
+			}
+			put(q[i]/vi - b*vi) // dQ_i/dVm_i
+		}
+	}, func(i, j int, yij complex128) {
+		g, b := real(yij), imag(yij)
 		th := va[i] - va[j]
 		ct, st := math.Cos(th), math.Sin(th)
 		vij := vm[i] * vm[j]
-		// Off-diagonal partials.
 		dPdA := vij * (g*st - b*ct)   // dP_i/dVa_j
 		dPdM := vm[i] * (g*ct + b*st) // dP_i/dVm_j
 		dQdA := -vij * (g*ct + b*st)  // dQ_i/dVa_j
 		dQdM := vm[i] * (g*st - b*ct) // dQ_i/dVm_j
 		if aPos[i] >= 0 {
 			if aPos[j] >= 0 {
-				coo.Add(aPos[i], aPos[j], dPdA)
+				put(dPdA)
 			}
 			if mPos[j] >= 0 {
-				coo.Add(aPos[i], mPos[j], dPdM)
+				put(dPdM)
 			}
 		}
 		if mPos[i] >= 0 {
 			if aPos[j] >= 0 {
-				coo.Add(mPos[i], aPos[j], dQdA)
+				put(dQdA)
 			}
 			if mPos[j] >= 0 {
-				coo.Add(mPos[i], mPos[j], dQdM)
+				put(dQdM)
 			}
 		}
+	})
+}
+
+// walkJacobian drives the shared traversal order of the symbolic and
+// numeric passes: every Ybus structural nonzero in storage order, diagonal
+// entries via onDiag, off-diagonals with exactly-zero admittance skipped
+// (their four partials are identically zero for the whole solve, since the
+// Ybus values are fixed while the pattern is in use).
+func walkJacobian(y *model.Ybus, aPos, mPos []int, onDiag func(i int), onOff func(i, j int, yij complex128)) {
+	for k, nz := range y.NZ {
+		i, j := nz[0], nz[1]
+		if i == j {
+			onDiag(i)
+			continue
+		}
+		if y.NZv[k] == 0 {
+			continue
+		}
+		onOff(i, j, y.NZv[k])
 	}
-	return coo.ToCSC()
 }

@@ -1,0 +1,49 @@
+package powerflow
+
+import "sync"
+
+// OrderingCache memoizes fill-reducing column orderings of the Newton
+// Jacobian across solves of structurally similar networks — the N-1 sweep
+// is the canonical user: every outage solves a network that differs from
+// the base by one branch, so the base ordering is reused instead of
+// recomputing RCM per outage.
+//
+// Orderings are keyed by Jacobian dimension. Any permutation of the right
+// length is a valid elimination order for the LU (the choice affects only
+// fill-in, never correctness), so reusing an ordering computed for a
+// slightly different pattern of the same dimension is safe.
+//
+// The zero value is not usable; create with NewOrderingCache. All methods
+// are safe for concurrent use.
+type OrderingCache struct {
+	mu    sync.Mutex
+	perms map[int][]int
+}
+
+// NewOrderingCache returns an empty ordering cache.
+func NewOrderingCache() *OrderingCache {
+	return &OrderingCache{perms: make(map[int][]int)}
+}
+
+// lookupOrdering returns the cached ordering for the dimension, or nil.
+func lookupOrdering(c *OrderingCache, dim int) []int {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.perms[dim]
+}
+
+// storeOrdering records an ordering; the first writer for a dimension
+// wins, so concurrent solvers converge on one ordering.
+func storeOrdering(c *OrderingCache, dim int, perm []int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.perms[dim]; !ok {
+		c.perms[dim] = perm
+	}
+}

@@ -64,6 +64,11 @@ type Options struct {
 	// EnforceQLimits converts PV buses to PQ when their aggregate
 	// reactive capability is exhausted and re-solves (outer loop).
 	EnforceQLimits bool
+	// Reorder, when non-nil, caches the Jacobian's fill-reducing column
+	// ordering across solves of structurally similar networks (e.g. the
+	// per-outage solves of a warm-started contingency sweep). Safe to
+	// share between concurrent solves.
+	Reorder *OrderingCache
 }
 
 // VoltageProfile is a bus voltage state (magnitude p.u., angle rad).

@@ -268,7 +268,9 @@ func TestJacobianMatchesFiniteDifferences(t *testing.T) {
 	mPos := []int{-1, -1, 2}
 	dim := 3
 	p, q := injections(y, vm, va)
-	jac := assembleJacobian(y, aPos, mPos, vm, va, p, q, dim)
+	ja := newJacobian(y, aPos, mPos, dim)
+	ja.refill(y, aPos, mPos, vm, va, p, q)
+	jac := ja.mat
 
 	const h = 1e-7
 	// residual vector r(x) = [P(x) at buses 1,2; Q(x) at bus 2]

@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"gridmind/internal/model"
 	"gridmind/internal/sparse"
@@ -82,24 +84,44 @@ func Build(n *model.Network) (*Matrix, error) {
 		return nil, fmt.Errorf("ptdf: susceptance matrix: %w", err)
 	}
 
-	// PTDF row per branch: b_k · (eθf − eθt)ᵀ where θ = B⁻¹ e_i. Solve one
-	// system per bus column (nb solves of the cached factorization).
+	// PTDF row per branch: b_k · (eθf − eθt)ᵀ where θ = B⁻¹ e_i. The nb
+	// triangular solves against the cached factorization are independent,
+	// so they are fanned out across workers; each worker owns its rhs and
+	// workspace buffers and SolveInto keeps the inner loop allocation-free.
 	theta := make([][]float64, nb) // theta[i] = B⁻¹ e_i over non-slack buses
-	rhs := make([]float64, na)
-	for i := 0; i < nb; i++ {
-		if i == slack {
-			theta[i] = make([]float64, na)
-			continue
-		}
-		for j := range rhs {
-			rhs[j] = 0
-		}
-		rhs[pos[i]] = 1
-		x, err := lu.Solve(rhs)
+	theta[slack] = make([]float64, na)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nb {
+		workers = nb
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rhs := make([]float64, na)
+			work := make([]float64, na)
+			for i := w; i < nb; i += workers {
+				if i == slack {
+					continue
+				}
+				x := make([]float64, na)
+				rhs[pos[i]] = 1
+				if err := lu.SolveInto(x, rhs, work); err != nil {
+					errs[w] = err
+					return
+				}
+				rhs[pos[i]] = 0
+				theta[i] = x
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		theta[i] = x
 	}
 
 	m.PTDF = make([][]float64, m.nbr)

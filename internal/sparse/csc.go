@@ -1,5 +1,6 @@
-// Package sparse provides compressed sparse column (CSC) matrices, reverse
-// Cuthill-McKee ordering, and a Gilbert-Peierls LU factorization with
+// Package sparse provides compressed sparse column (CSC) matrices,
+// fill-reducing orderings (minimum-degree, the default, and reverse
+// Cuthill-McKee), and a Gilbert-Peierls LU factorization with threshold
 // partial pivoting.
 //
 // This is the production linear-solver path for GridMind: power flow
@@ -7,6 +8,20 @@
 // form, compressed to CSC, ordered to reduce fill, and factorized here.
 // Package mat provides the dense reference implementation used for
 // verification and the sparse-vs-dense ablation (A1 in DESIGN.md).
+//
+// Steady-state hot paths avoid per-iteration symbolic work entirely:
+//
+//   - CompilePattern builds a CSC with a fixed sparsity pattern once and
+//     returns a slot map, so each numeric pass refills Values() in place
+//     with no COO append/sort/dedup.
+//   - LU.Refactorize recomputes factor values for a same-pattern matrix
+//     while reusing the symbolic analysis (fill pattern, pivot order) of
+//     the original Factorize — the KLU-style fast path Newton iterations
+//     after the first ride on.
+//   - LU.SolveInto performs triangular solves into caller-owned buffers
+//     with zero allocation; concurrent solves on one factorization are
+//     safe when each goroutine owns its buffers (ptdf fans columns out
+//     this way).
 package sparse
 
 import (

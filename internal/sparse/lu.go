@@ -11,8 +11,8 @@ var ErrSingular = errors.New("sparse: matrix is singular")
 
 // Options configures the LU factorization.
 type Options struct {
-	// ColPerm is the fill-reducing column pre-ordering. If nil, an RCM
-	// ordering of the symmetrized pattern is computed.
+	// ColPerm is the fill-reducing column pre-ordering. If nil, a
+	// minimum-degree ordering of the symmetrized pattern is computed.
 	ColPerm []int
 	// DiagPreference is the threshold-pivoting parameter in (0, 1]: the
 	// original diagonal entry is accepted as pivot when its magnitude is at
@@ -33,8 +33,9 @@ type LU struct {
 	up   []int // U column pointers (diagonal entry stored last per column)
 	ui   []int
 	ux   []float64
-	pinv []int // original row -> pivot position
-	q    []int // column pre-order: column q[k] eliminated at step k
+	pinv []int     // original row -> pivot position
+	q    []int     // column pre-order: column q[k] eliminated at step k
+	rw   []float64 // Refactorize numeric workspace, kept zeroed between calls
 }
 
 // Factorize computes the sparse LU decomposition of the square matrix a.
@@ -45,7 +46,7 @@ func Factorize(a *CSC, opts Options) (*LU, error) {
 	}
 	q := opts.ColPerm
 	if q == nil {
-		q = RCM(a)
+		q = MinDegree(a)
 	}
 	if len(q) != n {
 		return nil, fmt.Errorf("sparse: column permutation length %d, want %d", len(q), n)
@@ -216,44 +217,14 @@ func (f *LU) dfs(i, top int, xi, pstack, marked []int, stamp int) int {
 }
 
 // Solve returns x with A·x = b for the factorized A. b is not modified.
+// Allocation-sensitive callers should use SolveInto with owned buffers.
 func (f *LU) Solve(b []float64) ([]float64, error) {
 	if len(b) != f.n {
 		return nil, fmt.Errorf("sparse: Solve rhs length %d, want %d", len(b), f.n)
 	}
-	n := f.n
-	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		y[f.pinv[i]] = b[i]
-	}
-	// Forward substitution L·z = P·b (diagonal of L stored first, == 1).
-	for j := 0; j < n; j++ {
-		yj := y[j]
-		if yj == 0 {
-			continue
-		}
-		for p := f.lp[j] + 1; p < f.lp[j+1]; p++ {
-			y[f.li[p]] -= f.lx[p] * yj
-		}
-	}
-	// Back substitution U·w = z (diagonal of U stored last in each column).
-	for j := n - 1; j >= 0; j-- {
-		d := f.ux[f.up[j+1]-1]
-		if d == 0 {
-			return nil, ErrSingular
-		}
-		y[j] /= d
-		yj := y[j]
-		if yj == 0 {
-			continue
-		}
-		for p := f.up[j]; p < f.up[j+1]-1; p++ {
-			y[f.ui[p]] -= f.ux[p] * yj
-		}
-	}
-	// Undo the column pre-order.
-	x := make([]float64, n)
-	for k := 0; k < n; k++ {
-		x[f.q[k]] = y[k]
+	x := make([]float64, f.n)
+	if err := f.SolveInto(x, b, make([]float64, f.n)); err != nil {
+		return nil, err
 	}
 	return x, nil
 }

@@ -1,0 +1,78 @@
+package sparse
+
+import "fmt"
+
+// CompilePattern builds a CSC matrix with the given structural pattern and
+// zero values, returning it together with a slot map: slot[k] is the index
+// into Values() where coordinate (ri[k], ci[k]) is stored. Callers with a
+// fixed sparsity pattern compile once and then refill values in place each
+// numeric pass:
+//
+//	m, slot := sparse.CompilePattern(n, n, ri, ci)
+//	val := m.Values()
+//	for each pass { for k := range plan { val[slot[k]] = ... } }
+//
+// Coordinates must be unique; a duplicate (i, j) panics, because in-place
+// refill through the slot map cannot express summation semantics.
+func CompilePattern(rows, cols int, ri, ci []int) (*CSC, []int) {
+	if len(ri) != len(ci) {
+		panic(fmt.Sprintf("sparse: CompilePattern index slices disagree: %d vs %d", len(ri), len(ci)))
+	}
+	nnz := len(ri)
+	colPtr := make([]int, cols+1)
+	for k, j := range ci {
+		if i := ri[k]; i < 0 || i >= rows || j < 0 || j >= cols {
+			panic(fmt.Sprintf("sparse: CompilePattern index (%d,%d) out of range %dx%d", i, j, rows, cols))
+		}
+		colPtr[j+1]++
+	}
+	for j := 0; j < cols; j++ {
+		colPtr[j+1] += colPtr[j]
+	}
+	rowIdx := make([]int, nnz)
+	slot := make([]int, nnz)
+	next := make([]int, cols)
+	copy(next, colPtr[:cols])
+	for k, j := range ci {
+		p := next[j]
+		rowIdx[p] = ri[k]
+		slot[k] = p
+		next[j]++
+	}
+	m := &CSC{rows: rows, cols: cols, colPtr: colPtr, rowIdx: rowIdx, val: make([]float64, nnz)}
+	// Sort rows within each column, carrying the slot map along.
+	inv := make([]int, nnz) // value position -> coordinate k
+	for k, p := range slot {
+		inv[p] = k
+	}
+	for j := 0; j < cols; j++ {
+		lo, hi := colPtr[j], colPtr[j+1]
+		sortPattern(rowIdx[lo:hi], inv[lo:hi])
+		for p := lo; p < hi; p++ {
+			slot[inv[p]] = p
+			if p > lo && rowIdx[p] == rowIdx[p-1] {
+				panic(fmt.Sprintf("sparse: CompilePattern duplicate coordinate (%d,%d)", rowIdx[p], j))
+			}
+		}
+	}
+	return m, slot
+}
+
+// sortPattern sorts idx ascending, permuting tag alongside (insertion sort:
+// columns of power-system matrices are short).
+func sortPattern(idx, tag []int) {
+	for a := 1; a < len(idx); a++ {
+		i, t := idx[a], tag[a]
+		b := a - 1
+		for b >= 0 && idx[b] > i {
+			idx[b+1], tag[b+1] = idx[b], tag[b]
+			b--
+		}
+		idx[b+1], tag[b+1] = i, t
+	}
+}
+
+// Values returns the backing value slice of the matrix for in-place
+// refill through a CompilePattern slot map. The pattern (colPtr/rowIdx)
+// must not be assumed to match insertion order — always go through slots.
+func (m *CSC) Values() []float64 { return m.val }

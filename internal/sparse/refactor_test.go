@@ -1,0 +1,176 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCompilePatternRoundTrip(t *testing.T) {
+	// A 3x3 pattern supplied in scrambled order; slots must land every
+	// value at its coordinate.
+	ri := []int{2, 0, 1, 2, 0}
+	ci := []int{0, 0, 1, 2, 2}
+	m, slot := CompilePattern(3, 3, ri, ci)
+	if m.NNZ() != 5 {
+		t.Fatalf("nnz = %d want 5", m.NNZ())
+	}
+	val := m.Values()
+	for k := range ri {
+		val[slot[k]] = float64(10 + k)
+	}
+	for k := range ri {
+		if got := m.At(ri[k], ci[k]); got != float64(10+k) {
+			t.Fatalf("At(%d,%d) = %v want %v", ri[k], ci[k], got, float64(10+k))
+		}
+	}
+	// Refill with new values through the same slots.
+	for k := range ri {
+		val[slot[k]] = float64(-k)
+	}
+	if got := m.At(2, 2); got != -3 {
+		t.Fatalf("refilled At(2,2) = %v want -3", got)
+	}
+}
+
+func TestCompilePatternDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate coordinate")
+		}
+	}()
+	CompilePattern(2, 2, []int{0, 0}, []int{1, 1})
+}
+
+func TestRefactorizeMatchesFactorize(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 4, 30, 120} {
+		a := randomSolvable(rng, n, 0.08)
+		lu, err := Factorize(a, Options{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Perturb the values (same pattern), refactorize, and verify the
+		// solve against a fresh factorization.
+		for i := range a.val {
+			a.val[i] *= 1 + 0.3*rng.Float64()
+		}
+		if err := lu.Refactorize(a); err != nil {
+			t.Fatalf("n=%d refactorize: %v", n, err)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := lu.Solve(b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				t.Fatalf("n=%d: x[%d] = %v want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRefactorizeRepeated(t *testing.T) {
+	// Newton-style usage: one symbolic factorization, many numeric
+	// refactorizations; each must stand on its own.
+	rng := rand.New(rand.NewSource(7))
+	n := 60
+	a := randomSolvable(rng, n, 0.1)
+	lu, err := Factorize(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		for i := range a.val {
+			a.val[i] += 0.05 * rng.NormFloat64() * a.val[i]
+		}
+		if err := lu.Refactorize(a); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := lu.Solve(b)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-7 {
+				t.Fatalf("round %d: x[%d] = %v want %v", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSolveIntoMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 50
+	a := randomSolvable(rng, n, 0.1)
+	lu, err := Factorize(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want, err := lu.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, n)
+	work := make([]float64, n)
+	if err := lu.SolveInto(dst, b, work); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("SolveInto[%d] = %v, Solve = %v", i, dst[i], want[i])
+		}
+	}
+	// Aliased dst/b solves in place.
+	alias := append([]float64(nil), b...)
+	if err := lu.SolveInto(alias, alias, work); err != nil {
+		t.Fatal(err)
+	}
+	for i := range alias {
+		if alias[i] != want[i] {
+			t.Fatalf("aliased SolveInto[%d] = %v, Solve = %v", i, alias[i], want[i])
+		}
+	}
+	// Bad buffer lengths are rejected.
+	if err := lu.SolveInto(dst, b, make([]float64, n-1)); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestSolveIntoNoAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 80
+	a := randomSolvable(rng, n, 0.08)
+	lu, err := Factorize(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, n)
+	work := make([]float64, n)
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := lu.SolveInto(dst, b, work); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SolveInto allocates %v per run, want 0", allocs)
+	}
+}

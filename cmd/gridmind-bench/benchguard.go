@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"gridmind/internal/cases"
+	"gridmind/internal/contingency"
+	"gridmind/internal/powerflow"
+)
+
+// benchBaseline mirrors the subset of BENCH_numeric.json the guard reads.
+type benchBaseline struct {
+	Benchmarks []struct {
+		Name  string `json:"name"`
+		After struct {
+			NsOp     float64 `json:"ns_op"`
+			AllocsOp float64 `json:"allocs_op"`
+		} `json:"after"`
+	} `json:"benchmarks"`
+}
+
+// runBenchGuard executes the N-1 sweep benchmark for caseName in-process
+// (minimum of three testing.Benchmark runs, to shed scheduler noise) and
+// compares it against the checked-in baseline:
+//
+//   - ns/op may regress at most by the tolerance fraction (wall-time guard;
+//     CI hardware is assumed no slower than the baseline machine);
+//   - allocs/op may regress at most by the same fraction — allocation
+//     counts are machine-independent, so this arm catches a reintroduced
+//     per-outage clone even on faster hardware.
+//
+// The sweep runs with Workers pinned to 1, matching the baseline protocol
+// (BENCH_numeric.json is regenerated with `go test -cpu 1`): per-worker
+// context setup would otherwise scale allocs/op with the runner's core
+// count and make the comparison shape-dependent.
+func runBenchGuard(baselinePath, caseName string, tol float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	canon := cases.Canonical(caseName)
+	if canon == "" {
+		return fmt.Errorf("unknown case %q", caseName)
+	}
+	want := "BenchmarkN1Sweep" + strings.ToUpper(canon[:1]) + canon[1:]
+	var refNs, refAllocs float64
+	found := false
+	for _, b := range base.Benchmarks {
+		if b.Name == want || b.Name == want+"Full" {
+			refNs, refAllocs = b.After.NsOp, b.After.AllocsOp
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("no %s baseline in %s", want, baselinePath)
+	}
+
+	n := cases.MustLoad(canon)
+	pf, err := powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
+	if err != nil {
+		return fmt.Errorf("base power flow: %w", err)
+	}
+	bestNs, bestAllocs := -1.0, -1.0
+	for rep := 0; rep < 3; rep++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Workers pinned to 1: per-worker context setup scales
+				// allocs/op (and wall-time noise) with GOMAXPROCS, and the
+				// baseline must be comparable across CI runner shapes.
+				if _, err := contingency.Analyze(n, pf, contingency.Options{Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ns := float64(r.NsPerOp())
+		allocs := float64(r.AllocsPerOp())
+		if bestNs < 0 || ns < bestNs {
+			bestNs = ns
+		}
+		if bestAllocs < 0 || allocs < bestAllocs {
+			bestAllocs = allocs
+		}
+	}
+
+	fmt.Printf("benchguard %s: %.0f ns/op (baseline %.0f), %.0f allocs/op (baseline %.0f), tolerance %.0f%%\n",
+		want, bestNs, refNs, bestAllocs, refAllocs, 100*tol)
+	if bestNs > refNs*(1+tol) {
+		return fmt.Errorf("%s ns/op regressed: %.0f > %.0f (+%.0f%% allowed)", want, bestNs, refNs, 100*tol)
+	}
+	if refAllocs > 0 && bestAllocs > refAllocs*(1+tol) {
+		return fmt.Errorf("%s allocs/op regressed: %.0f > %.0f (+%.0f%% allowed)", want, bestAllocs, refAllocs, 100*tol)
+	}
+	fmt.Println("benchguard: OK")
+	return nil
+}

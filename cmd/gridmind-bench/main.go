@@ -7,6 +7,14 @@
 //	gridmind-bench                         # everything, paper configuration
 //	gridmind-bench -experiment table1      # one experiment
 //	gridmind-bench -runs 3 -case case30    # scaled-down scope
+//
+// It doubles as the CI performance-regression gate for the numeric core:
+//
+//	gridmind-bench -benchguard BENCH_numeric.json
+//
+// runs the N-1 sweep smoke benchmark in-process and exits nonzero when
+// ns/op (or allocs/op, a machine-independent signal) regresses beyond the
+// tolerance against the checked-in baseline.
 package main
 
 import (
@@ -25,7 +33,18 @@ func main() {
 	runs := flag.Int("runs", 5, "runs per (model, case) cell")
 	caseName := flag.String("case", "case118", "fixed case for fig3-success/fig3-dist/table1")
 	models := flag.String("models", "", "comma-separated model subset (default: all six)")
+	guard := flag.String("benchguard", "", "path to BENCH_numeric.json: run the N1Sweep smoke benchmark against its recorded baseline and fail on regression")
+	guardCase := flag.String("benchguard-case", "case57", "case for the -benchguard sweep benchmark")
+	guardTol := flag.Float64("benchguard-tolerance", 0.30, "allowed fractional ns/op regression before -benchguard fails")
 	flag.Parse()
+
+	if *guard != "" {
+		if err := runBenchGuard(*guard, *guardCase, *guardTol); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.Config{Runs: *runs, Case: *caseName}
 	if *models != "" {

@@ -124,6 +124,11 @@ type Options struct {
 	// CacheKeyPrefix disambiguates network states in the cache; callers
 	// pass the session's case + diff hash (§3.4 composite key).
 	CacheKeyPrefix string
+	// ReferenceClone selects the legacy clone-per-outage analysis path
+	// instead of the zero-clone OutageView + patched-Ybus fast path. It is
+	// a test-only flag: the differential harness pins the fast path to the
+	// reference implementation with it. Production callers leave it false.
+	ReferenceClone bool
 
 	// reorder shares the Jacobian fill-reducing ordering across the
 	// per-outage Newton solves: every outage network has the same bus set
@@ -190,38 +195,67 @@ func Analyze(n *model.Network, base *powerflow.Result, opts Options) (*ResultSet
 		}
 	}
 
+	// Worker pool over the outage list. Each worker owns one zero-clone
+	// sweep context (patched Ybus, reusable Newton state, topology scratch)
+	// built once, so the per-outage cost is the solve itself — no network
+	// clones, no Ybus rebuilds, no symbolic work.
 	results := make([]OutageResult, len(branches))
 	var screened int64
+	var next int64
+	// Shared worker prerequisites, built once and only if some worker
+	// actually reaches the view path (a fully cached or reference-clone
+	// sweep never pays for them).
+	var baseY *model.Ybus
+	var topo *model.Topology
+	var prepOnce sync.Once
+	prep := func() {
+		baseY = model.BuildYbus(n)
+		topo = model.NewTopology(n)
+	}
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Workers)
-	for idx, k := range branches {
+	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
-		go func(idx, k int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if opts.Cache != nil {
-				if hit, ok := opts.Cache.Get(Key(opts.CacheKeyPrefix, n.Name, k)); ok {
-					results[idx] = *hit
+			var ctx *sweepContext
+			for {
+				idx := int(atomic.AddInt64(&next, 1) - 1)
+				if idx >= len(branches) {
 					return
 				}
-			}
-			if screen != nil {
-				if r, ok := screen.trySecure(n, k, opts); ok {
-					results[idx] = *r
-					atomic.AddInt64(&screened, 1)
-					if opts.Cache != nil {
-						opts.Cache.Put(Key(opts.CacheKeyPrefix, n.Name, k), r)
+				k := branches[idx]
+				if opts.Cache != nil {
+					if hit, ok := opts.Cache.Get(Key(opts.CacheKeyPrefix, n.Name, k)); ok {
+						results[idx] = *hit
+						continue
 					}
-					return
+				}
+				if screen != nil {
+					if r, ok := screen.trySecure(n, k, opts); ok {
+						results[idx] = *r
+						atomic.AddInt64(&screened, 1)
+						if opts.Cache != nil {
+							opts.Cache.Put(Key(opts.CacheKeyPrefix, n.Name, k), r)
+						}
+						continue
+					}
+				}
+				var r *OutageResult
+				if opts.ReferenceClone {
+					r = analyzeOneClone(n, base, k, opts)
+				} else {
+					if ctx == nil {
+						prepOnce.Do(prep)
+						ctx = newSweepContext(n, base, topo, baseY)
+					}
+					r = ctx.analyze(k, opts)
+				}
+				results[idx] = *r
+				if opts.Cache != nil {
+					opts.Cache.Put(Key(opts.CacheKeyPrefix, n.Name, k), r)
 				}
 			}
-			r := AnalyzeOne(n, base, k, opts)
-			results[idx] = *r
-			if opts.Cache != nil {
-				opts.Cache.Put(Key(opts.CacheKeyPrefix, n.Name, k), r)
-			}
-		}(idx, k)
+		}()
 	}
 	wg.Wait()
 	rs.Outages = results
@@ -229,9 +263,22 @@ func Analyze(n *model.Network, base *powerflow.Result, opts Options) (*ResultSet
 	return rs, nil
 }
 
-// AnalyzeOne simulates the outage of branch k and scores it.
+// AnalyzeOne simulates the outage of branch k and scores it. One-shot
+// calls build a fresh view context; sweeps amortize theirs across outages
+// via Analyze. With opts.ReferenceClone it runs the legacy clone-based
+// path instead (the differential-test reference).
 func AnalyzeOne(n *model.Network, base *powerflow.Result, k int, opts Options) *OutageResult {
 	opts.fill()
+	if opts.ReferenceClone {
+		return analyzeOneClone(n, base, k, opts)
+	}
+	ctx := newSweepContext(n, base, model.NewTopology(n), nil)
+	return ctx.analyze(k, opts)
+}
+
+// analyzeOneClone is the legacy deep-clone implementation, kept verbatim
+// as the reference the differential harness pins the fast path against.
+func analyzeOneClone(n *model.Network, base *powerflow.Result, k int, opts Options) *OutageResult {
 	br := n.Branches[k]
 	out := &OutageResult{
 		Branch:    k,
@@ -272,19 +319,32 @@ func AnalyzeOne(n *model.Network, base *powerflow.Result, k int, opts Options) *
 		out.Severity = severity(out, opts)
 		return out
 	}
+	scoreOutage(out, res, post, k, opts)
+	return out
+}
+
+// scoreOutage fills out's post-solve fields — loading extrema, overload
+// and voltage-violation lists, severity — from a converged power flow.
+// The clone-reference and view paths share it, so the scoring rules
+// cannot silently diverge between them. n supplies bus IDs and branch
+// endpoints; k is the outaged branch (zero flow by construction, skipped).
+func scoreOutage(out *OutageResult, res *powerflow.Result, n *model.Network, k int, opts Options) {
 	out.Converged = true
 	out.Algorithm = res.Algorithm.String()
 	out.MinVoltagePU = res.MinVm
 	for bk, f := range res.Flows {
+		if bk == k {
+			continue // the outaged branch carries nothing
+		}
 		if f.LoadingPct > out.MaxLoadingPct {
 			out.MaxLoadingPct = f.LoadingPct
 		}
 		if f.LoadingPct > opts.OverloadPct {
-			bb := post.Branches[bk]
+			bb := n.Branches[bk]
 			out.Overloads = append(out.Overloads, BranchLoading{
 				Branch:     bk,
-				FromBusID:  post.Buses[bb.From].ID,
-				ToBusID:    post.Buses[bb.To].ID,
+				FromBusID:  n.Buses[bb.From].ID,
+				ToBusID:    n.Buses[bb.To].ID,
 				LoadingPct: f.LoadingPct,
 			})
 		}
@@ -292,20 +352,19 @@ func AnalyzeOne(n *model.Network, base *powerflow.Result, k int, opts Options) *
 	sort.Slice(out.Overloads, func(a, b int) bool {
 		return out.Overloads[a].LoadingPct > out.Overloads[b].LoadingPct
 	})
-	for i := range post.Buses {
+	for i := range n.Buses {
 		vm := res.Voltages.Vm[i]
 		if vm < opts.VoltLow {
 			out.VoltViols = append(out.VoltViols, VoltageViolation{
-				BusID: post.Buses[i].ID, VmPU: vm, Limit: opts.VoltLow, Low: true,
+				BusID: n.Buses[i].ID, VmPU: vm, Limit: opts.VoltLow, Low: true,
 			})
 		} else if vm > opts.VoltHigh {
 			out.VoltViols = append(out.VoltViols, VoltageViolation{
-				BusID: post.Buses[i].ID, VmPU: vm, Limit: opts.VoltHigh, Low: false,
+				BusID: n.Buses[i].ID, VmPU: vm, Limit: opts.VoltHigh, Low: false,
 			})
 		}
 	}
 	out.Severity = severity(out, opts)
-	return out
 }
 
 // severity computes the composite criticality score the CA agent ranks
@@ -338,19 +397,25 @@ func severity(o *OutageResult, opts Options) float64 {
 // estimateLoadShed bisects a uniform load scaling until the post-outage
 // power flow solves, returning the shed demand in MW. This approximates
 // the "involuntary load shedding" the paper's CA evaluates.
+//
+// One trial network is prepared up front (sharing the untouched bus and
+// branch slices with post — solvers never mutate case data) and rescaled
+// in place from post each trial; previously every bisection step deep-
+// cloned the already-cloned outage network.
 func estimateLoadShed(post *model.Network) float64 {
 	loadP, _ := post.TotalLoad()
+	trial := &model.Network{
+		Name:     post.Name,
+		BaseMVA:  post.BaseMVA,
+		Buses:    post.Buses,
+		Branches: post.Branches,
+		Loads:    make([]model.Load, len(post.Loads)),
+		Gens:     make([]model.Generator, len(post.Gens)),
+	}
 	lo, hi := 0.0, 1.0 // feasible scale in [lo, hi): lo solvable fraction
 	for iter := 0; iter < 5; iter++ {
 		mid := (lo + hi) / 2
-		trial := post.Clone()
-		for i := range trial.Loads {
-			trial.Loads[i].P *= mid
-			trial.Loads[i].Q *= mid
-		}
-		for i := range trial.Gens {
-			trial.Gens[i].P *= mid
-		}
+		scaleDemand(trial, post, mid)
 		res, err := powerflow.Solve(trial, powerflow.Options{FlatStart: true})
 		if err == nil && res.Converged {
 			lo = mid
@@ -359,4 +424,18 @@ func estimateLoadShed(post *model.Network) float64 {
 		}
 	}
 	return (1 - lo) * loadP
+}
+
+// scaleDemand writes post's loads and generator dispatches scaled by f
+// into trial's preallocated slices, allocation-free.
+func scaleDemand(trial, post *model.Network, f float64) {
+	for i, l := range post.Loads {
+		l.P *= f
+		l.Q *= f
+		trial.Loads[i] = l
+	}
+	for i, g := range post.Gens {
+		g.P *= f
+		trial.Gens[i] = g
+	}
 }

@@ -60,26 +60,30 @@ func AnalyzeGenOutage(n *model.Network, g int, opts Options) (*GenOutageResult, 
 		BusID:  n.Buses[n.Gens[g].Bus].ID,
 		LostMW: n.Gens[g].P,
 	}
-	post := n.Clone()
-	post.Gens[g].InService = false
+	// The outage touches only generation, so an OutageView carries it as a
+	// status mask plus redispatch overrides; Materialize below copies the
+	// generator slice and shares everything else with the base instead of
+	// deep-cloning the network.
+	view := model.NewOutageView(n)
+	view.OutGen(g)
 
 	// A slack-bus unit outage would leave no angle reference if it is the
 	// only machine there; reject islanded references early.
-	slack := post.SlackBus()
+	slack := n.SlackBus()
 	hasRef := false
-	for gi, gen := range post.Gens {
+	for gi, gen := range n.Gens {
 		if gi != g && gen.InService && gen.Bus == slack {
 			hasRef = true
 		}
 	}
-	if post.Gens[g].Bus == slack && !hasRef {
+	if n.Gens[g].Bus == slack && !hasRef {
 		return nil, fmt.Errorf("contingency: generator %d is the only slack machine; its loss has no steady state", g)
 	}
 
 	// Governor pickup: spread the lost MW over remaining units'
 	// headroom.
 	var headroom float64
-	for gi, gen := range post.Gens {
+	for gi, gen := range n.Gens {
 		if gi == g || !gen.InService {
 			continue
 		}
@@ -95,16 +99,16 @@ func AnalyzeGenOutage(n *model.Network, g int, opts Options) (*GenOutageResult, 
 		pickup = headroom
 	}
 	if headroom > 0 {
-		for gi := range post.Gens {
-			gen := &post.Gens[gi]
+		for gi, gen := range n.Gens {
 			if gi == g || !gen.InService {
 				continue
 			}
 			if h := gen.PMax - gen.P; h > 0 {
-				gen.P += pickup * h / headroom
+				view.SetGenP(gi, gen.P+pickup*h/headroom)
 			}
 		}
 	}
+	post := view.Materialize()
 
 	res, err := powerflow.Solve(post, powerflow.Options{EnforceQLimits: true})
 	if err != nil || !res.Converged {

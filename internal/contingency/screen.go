@@ -331,15 +331,19 @@ func (s *screener) qvSolve(n *model.Network, k int, flows []float64) ([]float64,
 			}
 		}
 		m := len(cols)
-		// Solve B''·u_j = e_cols[j].
-		us := make([][]float64, m)
+		// Solve B''·u_j = e_cols[j], both columns batched through one
+		// multi-RHS triangular pass.
+		ub := make([]float64, npq*m)
+		bwork := make([]float64, npq*m)
 		for j, c := range cols {
-			u := make([]float64, npq)
-			u[c] = 1
-			if err := s.luBpp.SolveInto(u, u, work); err != nil {
-				return nil, false
-			}
-			us[j] = u
+			ub[j*npq+c] = 1
+		}
+		if err := s.luBpp.SolveBlockInto(ub, ub, bwork, m); err != nil {
+			return nil, false
+		}
+		us := make([][]float64, m)
+		for j := range us {
+			us[j] = ub[j*npq : (j+1)*npq]
 		}
 		// Capacitance C = S⁻¹ − Uᵀ B''⁻¹ U (m×m, m ≤ 2).
 		var sMat [2][2]float64

@@ -1,0 +1,73 @@
+package contingency
+
+import (
+	"math"
+	"testing"
+
+	"gridmind/internal/cases"
+	"gridmind/internal/model"
+	"gridmind/internal/powerflow"
+)
+
+// estimateLoadShed used to deep-clone the (already cloned) outage network
+// on every bisection trial — a clone inside a clone, five times per
+// unsolvable outage. The port prepares one trial network up front and
+// rescales it in place. These tests pin that down with allocation counts.
+
+func TestScaleDemandAllocatesNothing(t *testing.T) {
+	post := cases.MustLoad("case30")
+	trial := &model.Network{
+		Name:     post.Name,
+		BaseMVA:  post.BaseMVA,
+		Buses:    post.Buses,
+		Branches: post.Branches,
+		Loads:    make([]model.Load, len(post.Loads)),
+		Gens:     make([]model.Generator, len(post.Gens)),
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		scaleDemand(trial, post, 0.625)
+	}); allocs != 0 {
+		t.Fatalf("scaleDemand allocates %v objects per run, want 0", allocs)
+	}
+	if trial.Loads[0].P != post.Loads[0].P*0.625 {
+		t.Fatal("scaleDemand did not scale")
+	}
+}
+
+func TestEstimateLoadShedAllocationRegression(t *testing.T) {
+	post := cases.MustLoad("case30")
+
+	// Replay the deterministic bisection (every trial of case30 converges,
+	// so mid follows 0.5, 0.75, ...) measuring the solver's own
+	// allocations, which are the legitimate cost of each trial.
+	var solveAllocs float64
+	lo, hi := 0.0, 1.0
+	trial := post.Clone()
+	for iter := 0; iter < 5; iter++ {
+		mid := (lo + hi) / 2
+		scaleDemand(trial, post, mid)
+		solveAllocs += testing.AllocsPerRun(1, func() {
+			res, err := powerflow.Solve(trial, powerflow.Options{FlatStart: true})
+			if err == nil && res.Converged {
+				return
+			}
+		})
+		lo = mid // converges at every scale on case30
+	}
+
+	shedAllocs := testing.AllocsPerRun(2, func() {
+		if shed := estimateLoadShed(post); math.IsNaN(shed) {
+			t.Fatal("NaN shed")
+		}
+	})
+
+	// Budget: the five solves plus a fixed setup slack (one trial network:
+	// two slices, one struct, plus TotalLoad and harness noise). The old
+	// clone-per-trial implementation added ~5 allocations per trial (four
+	// slice copies and the Network header) and trips this bound.
+	budget := solveAllocs + 15
+	if shedAllocs > budget {
+		t.Fatalf("estimateLoadShed allocates %v objects, budget %v (solves account for %v) — did a per-trial clone sneak back in?",
+			shedAllocs, budget, solveAllocs)
+	}
+}

@@ -1,0 +1,96 @@
+package contingency
+
+import (
+	"gridmind/internal/model"
+	"gridmind/internal/powerflow"
+)
+
+// sweepContext is one worker's zero-clone outage-analysis state: a reusable
+// OutageView over the shared immutable base network, a ViewSolver whose
+// patched Ybus / compiled Jacobian / LU symbolic analysis persist across
+// outages, and scratch buffers for the allocation-free islanding check.
+// Not safe for concurrent use; Analyze builds one per worker.
+type sweepContext struct {
+	n     *model.Network
+	base  *powerflow.Result
+	topo  *model.Topology
+	slack int
+
+	solver *powerflow.ViewSolver // nil when the base fails to classify
+	view   *model.OutageView
+
+	comp, stack []int
+}
+
+// newSweepContext prepares a worker context. topo must be built from n;
+// baseY (optional) is the shared base admittance matrix to value-copy.
+func newSweepContext(n *model.Network, base *powerflow.Result, topo *model.Topology, baseY *model.Ybus) *sweepContext {
+	ctx := &sweepContext{
+		n:     n,
+		base:  base,
+		topo:  topo,
+		slack: n.SlackBus(),
+		view:  model.NewOutageView(n),
+		comp:  make([]int, len(n.Buses)),
+		stack: make([]int, len(n.Buses)),
+	}
+	// A base that cannot classify (no slack) cannot host a view solver;
+	// analyze falls back to the clone path, which reports the failure the
+	// same way the legacy code did.
+	ctx.solver, _ = powerflow.NewViewSolver(n, baseY)
+	return ctx
+}
+
+// analyze simulates the outage of branch k and scores it — the zero-clone
+// counterpart of analyzeOneClone, matching it result-for-result (the
+// differential harness enforces this).
+func (c *sweepContext) analyze(k int, opts Options) *OutageResult {
+	if c.solver == nil {
+		return analyzeOneClone(c.n, c.base, k, opts)
+	}
+	br := c.n.Branches[k]
+	out := &OutageResult{
+		Branch:    k,
+		FromBusID: c.n.Buses[br.From].ID,
+		ToBusID:   c.n.Buses[br.To].ID,
+		IsXfmr:    br.IsTransformer,
+	}
+
+	// Islanding check first: an outage that splits the grid sheds all
+	// load outside the slack's island. The topology is prebuilt, so this
+	// costs one buffer-reusing traversal instead of an adjacency rebuild.
+	if count := c.topo.Islands(k, c.comp, c.stack); count > 1 {
+		out.Islanded = true
+		slackComp := c.comp[c.slack]
+		for _, l := range c.n.Loads {
+			if l.InService && c.comp[l.Bus] != slackComp {
+				out.LoadShedMW += l.P
+			}
+		}
+		out.Severity = severity(out, opts)
+		return out
+	}
+
+	c.view.Reset()
+	c.view.OutBranch(k)
+	pfOpts := powerflow.Options{EnforceQLimits: true, Reorder: opts.reorder}
+	if !opts.NoWarmStart {
+		pfOpts.Warm = &c.base.Voltages
+	}
+	res, err := c.solver.Solve(c.view, pfOpts)
+	if err != nil || !res.Converged {
+		// Fallback: fast-decoupled is more tolerant of poor starts. The
+		// materialized overlay serves both the fallback and, if that also
+		// fails, the load-shed estimate.
+		post := c.view.Materialize()
+		res, err = powerflow.Solve(post, powerflow.Options{Algorithm: powerflow.FastDecoupled})
+		if err != nil || !res.Converged {
+			out.Converged = false
+			out.LoadShedMW = estimateLoadShed(post)
+			out.Severity = severity(out, opts)
+			return out
+		}
+	}
+	scoreOutage(out, res, c.n, k, opts)
+	return out
+}

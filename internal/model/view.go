@@ -1,0 +1,193 @@
+package model
+
+// OutageView is a lightweight what-if overlay on an immutable shared base
+// Network: a branch/generator outage mask plus an optional generator
+// redispatch, instead of a deep clone per scenario. The N-1 sweep keeps one
+// base Network and one view per worker, so simulating an outage allocates
+// nothing — the paper's reliability agent evaluates hundreds of these per
+// query.
+//
+// The base must not be mutated while views over it are alive. Views
+// themselves are not safe for concurrent use; share the base, not the view.
+type OutageView struct {
+	// Base is the shared pre-contingency network. Read-only.
+	Base *Network
+
+	branchOut []int
+	genOut    []int
+	// gens is the copy-on-write generator slice; nil until a dispatch
+	// override is applied.
+	gens []Generator
+}
+
+// NewOutageView returns an empty view over base (no outages, no overrides).
+func NewOutageView(base *Network) *OutageView {
+	return &OutageView{Base: base}
+}
+
+// Reset clears all outages and overrides, reusing the view's storage.
+func (v *OutageView) Reset() {
+	v.branchOut = v.branchOut[:0]
+	v.genOut = v.genOut[:0]
+	v.gens = nil
+}
+
+// OutBranch marks branch k as outaged in the view.
+func (v *OutageView) OutBranch(k int) { v.branchOut = append(v.branchOut, k) }
+
+// OutGen marks generator g as outaged in the view.
+func (v *OutageView) OutGen(g int) { v.genOut = append(v.genOut, g) }
+
+// SetGenP overrides generator g's active dispatch (MW), copying the base
+// generator slice on first write.
+func (v *OutageView) SetGenP(g int, p float64) {
+	if v.gens == nil {
+		v.gens = append([]Generator(nil), v.Base.Gens...)
+	}
+	v.gens[g].P = p
+}
+
+// BranchesOut returns the outaged branch indices. Read-only.
+func (v *OutageView) BranchesOut() []int { return v.branchOut }
+
+// GensOut returns the outaged generator indices. Read-only.
+func (v *OutageView) GensOut() []int { return v.genOut }
+
+// HasGenChanges reports whether the view touches generation (outages or
+// redispatch) — such views change the power flow classification, not just
+// the admittance matrix.
+func (v *OutageView) HasGenChanges() bool { return len(v.genOut) > 0 || v.gens != nil }
+
+// BranchInService reports the effective status of branch k under the view.
+func (v *OutageView) BranchInService(k int) bool {
+	for _, b := range v.branchOut {
+		if b == k {
+			return false
+		}
+	}
+	return v.Base.Branches[k].InService
+}
+
+// GenInService reports the effective status of generator g under the view.
+func (v *OutageView) GenInService(g int) bool {
+	for _, o := range v.genOut {
+		if o == g {
+			return false
+		}
+	}
+	return v.Base.Gens[g].InService
+}
+
+// Materialize renders the view as a Network. Only the component slices the
+// view modifies are copied; the rest are shared with the base, so callers
+// must treat the result as read-only (every solver in this repo already
+// does — solvers update copies, never case data). A branch-outage view
+// therefore costs one branch-slice copy, a generator view one generator-
+// slice copy, instead of the four-slice deep Clone.
+//
+// Materialize never consumes the view: the same view can be materialized
+// repeatedly (ViewSolver does so internally for generation-touching
+// views), so dispatch overrides are copied out, not handed over.
+func (v *OutageView) Materialize() *Network {
+	n := &Network{
+		Name:     v.Base.Name,
+		BaseMVA:  v.Base.BaseMVA,
+		Buses:    v.Base.Buses,
+		Loads:    v.Base.Loads,
+		Gens:     v.Base.Gens,
+		Branches: v.Base.Branches,
+	}
+	if len(v.branchOut) > 0 {
+		n.Branches = append([]Branch(nil), v.Base.Branches...)
+		for _, k := range v.branchOut {
+			n.Branches[k].InService = false
+		}
+	}
+	if v.gens != nil || len(v.genOut) > 0 {
+		src := v.Base.Gens
+		if v.gens != nil {
+			src = v.gens
+		}
+		n.Gens = append([]Generator(nil), src...)
+		for _, g := range v.genOut {
+			n.Gens[g].InService = false
+		}
+	}
+	return n
+}
+
+// Topology is an immutable CSR adjacency over a network's in-service
+// branches, built once per sweep so per-outage connectivity checks run
+// allocation-free against caller-owned buffers. Safe for concurrent use.
+type Topology struct {
+	// N is the bus count.
+	N int
+	// ptr/bus/br: bus i's incident edges are positions ptr[i]..ptr[i+1],
+	// each giving the neighbor bus and the branch index of the edge.
+	ptr []int
+	bus []int
+	br  []int
+}
+
+// NewTopology builds the adjacency of n's in-service branches.
+func NewTopology(n *Network) *Topology {
+	nb := len(n.Buses)
+	t := &Topology{N: nb, ptr: make([]int, nb+1)}
+	for _, b := range n.Branches {
+		if !b.InService {
+			continue
+		}
+		t.ptr[b.From+1]++
+		t.ptr[b.To+1]++
+	}
+	for i := 0; i < nb; i++ {
+		t.ptr[i+1] += t.ptr[i]
+	}
+	t.bus = make([]int, t.ptr[nb])
+	t.br = make([]int, t.ptr[nb])
+	next := append([]int(nil), t.ptr[:nb]...)
+	for k, b := range n.Branches {
+		if !b.InService {
+			continue
+		}
+		t.bus[next[b.From]], t.br[next[b.From]] = b.To, k
+		next[b.From]++
+		t.bus[next[b.To]], t.br[next[b.To]] = b.From, k
+		next[b.To]++
+	}
+	return t
+}
+
+// Islands labels buses by connected component with branch skip removed
+// (skip < 0 removes nothing), writing component ids into comp (length N)
+// and using stack (length ≥ N) as scratch. It returns the component count.
+// Labeling matches a depth-first traversal from bus 0 upward; only label
+// equality is meaningful to callers.
+func (t *Topology) Islands(skip int, comp, stack []int) int {
+	for i := range comp[:t.N] {
+		comp[i] = -1
+	}
+	count := 0
+	for s := 0; s < t.N; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = count
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for p := t.ptr[v]; p < t.ptr[v+1]; p++ {
+				if t.br[p] == skip {
+					continue
+				}
+				if w := t.bus[p]; comp[w] == -1 {
+					comp[w] = count
+					stack = append(stack, w)
+				}
+			}
+		}
+		count++
+	}
+	return count
+}

@@ -158,6 +158,13 @@ func (y *Ybus) BranchFlow(n *Network, k int, v []complex128) (sf, st complex128)
 // in per-unit for the bus voltage vector v.
 func (y *Ybus) Injections(v []complex128) []complex128 {
 	s := make([]complex128, y.N)
+	y.InjectionsInto(s, v)
+	return s
+}
+
+// InjectionsInto is the allocation-free form of Injections, overwriting s
+// (length N) in place.
+func (y *Ybus) InjectionsInto(s, v []complex128) {
 	for i := 0; i < y.N; i++ {
 		var acc complex128
 		for p := y.RowPtr[i]; p < y.RowPtr[i+1]; p++ {
@@ -165,17 +172,21 @@ func (y *Ybus) Injections(v []complex128) []complex128 {
 		}
 		s[i] = v[i] * cmplx.Conj(acc)
 	}
-	return s
 }
 
 // VoltageVector builds the rectangular complex voltage vector from polar
 // magnitude and angle slices.
 func VoltageVector(vm, va []float64) []complex128 {
 	v := make([]complex128, len(vm))
+	VoltageVectorInto(v, vm, va)
+	return v
+}
+
+// VoltageVectorInto is the allocation-free form of VoltageVector.
+func VoltageVectorInto(v []complex128, vm, va []float64) {
 	for i := range vm {
 		v[i] = cmplx.Rect(vm[i], va[i])
 	}
-	return v
 }
 
 // PolarVoltages splits a rectangular voltage vector into magnitudes and

@@ -1,0 +1,101 @@
+package model
+
+import "sort"
+
+// Copy returns a Ybus that shares the immutable structural pattern (NZ,
+// RowPtr, DiagIdx) with y and owns fresh copies of the numeric values (NZv
+// and the per-branch two-port admittances). Contingency workers copy the
+// base Ybus once and then patch/restore it per outage, so a sweep never
+// rebuilds the pattern.
+func (y *Ybus) Copy() *Ybus {
+	return &Ybus{
+		N:       y.N,
+		NZ:      y.NZ,
+		NZv:     append([]complex128(nil), y.NZv...),
+		RowPtr:  y.RowPtr,
+		DiagIdx: y.DiagIdx,
+		Yff:     append([]complex128(nil), y.Yff...),
+		Yft:     append([]complex128(nil), y.Yft...),
+		Ytf:     append([]complex128(nil), y.Ytf...),
+		Ytt:     append([]complex128(nil), y.Ytt...),
+	}
+}
+
+// nzPos returns the position of (i, j) in NZ, or -1 when the coordinate is
+// not structural, by binary search within row i.
+func (y *Ybus) nzPos(i, j int) int {
+	lo, hi := y.RowPtr[i], y.RowPtr[i+1]
+	k := lo + sort.Search(hi-lo, func(k int) bool { return y.NZ[lo+k][1] >= j })
+	if k < hi && y.NZ[k][1] == j {
+		return k
+	}
+	return -1
+}
+
+// BranchPatch records the state PatchBranchOutage overwrote, so Restore can
+// put the exact pre-patch values back (bitwise, not by re-adding — repeated
+// subtract/add cycles would accumulate rounding drift over a sweep).
+type BranchPatch struct {
+	k                  int
+	pFF, pFT, pTF, pTT int
+	vFF, vFT, vTF, vTT complex128 // NZv values before the patch
+	yff, yft, ytf, ytt complex128 // branch two-port admittances before the patch
+	applied            bool
+}
+
+// PatchBranchOutage applies the outage of in-service branch k to the
+// admittance matrix in place: a post-outage Ybus differs from the base only
+// in the four entries the branch touches (a rank-1 update in the DC sense),
+// so the matrix entries are adjusted and the branch two-port admittances
+// zeroed without rebuilding anything. The structural pattern is untouched —
+// it is a superset of the post-outage pattern — so compiled Jacobian
+// patterns and LU symbolic analyses stay valid and post-outage solves ride
+// the Refactorize fast path.
+//
+// The returned patch restores the exact prior state via Restore. ok is
+// false (and y unchanged) when the branch is already electrically absent.
+func (y *Ybus) PatchBranchOutage(n *Network, k int) (p BranchPatch, ok bool) {
+	br := n.Branches[k]
+	if y.Yff[k] == 0 && y.Yft[k] == 0 && y.Ytf[k] == 0 && y.Ytt[k] == 0 {
+		return BranchPatch{}, false
+	}
+	p = BranchPatch{
+		k:   k,
+		pFF: y.DiagIdx[br.From],
+		pFT: y.nzPos(br.From, br.To),
+		pTF: y.nzPos(br.To, br.From),
+		pTT: y.DiagIdx[br.To],
+		yff: y.Yff[k], yft: y.Yft[k], ytf: y.Ytf[k], ytt: y.Ytt[k],
+		applied: true,
+	}
+	p.vFF, p.vTT = y.NZv[p.pFF], y.NZv[p.pTT]
+	y.NZv[p.pFF] -= p.yff
+	y.NZv[p.pTT] -= p.ytt
+	if p.pFT >= 0 {
+		p.vFT = y.NZv[p.pFT]
+		y.NZv[p.pFT] -= p.yft
+	}
+	if p.pTF >= 0 {
+		p.vTF = y.NZv[p.pTF]
+		y.NZv[p.pTF] -= p.ytf
+	}
+	y.Yff[k], y.Yft[k], y.Ytf[k], y.Ytt[k] = 0, 0, 0, 0
+	return p, true
+}
+
+// Restore undoes a PatchBranchOutage, returning the matrix to its exact
+// pre-patch values. Restoring a zero-value patch is a no-op.
+func (y *Ybus) Restore(p BranchPatch) {
+	if !p.applied {
+		return
+	}
+	y.NZv[p.pFF] = p.vFF
+	y.NZv[p.pTT] = p.vTT
+	if p.pFT >= 0 {
+		y.NZv[p.pFT] = p.vFT
+	}
+	if p.pTF >= 0 {
+		y.NZv[p.pTF] = p.vTF
+	}
+	y.Yff[p.k], y.Yft[p.k], y.Ytf[p.k], y.Ytt[p.k] = p.yff, p.yft, p.ytf, p.ytt
+}

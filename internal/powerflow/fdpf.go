@@ -83,9 +83,11 @@ func fdpfInner(n *model.Network, y *model.Ybus, c *classification, vm, va []floa
 	workQ := make([]float64, nm)
 	p := make([]float64, nb)
 	q := make([]float64, nb)
+	cs := make([]float64, nb)
+	sn := make([]float64, nb)
 	var maxMis float64
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		injectionsInto(y, vm, va, p, q)
+		injectionsInto(y, vm, va, cs, sn, p, q)
 		maxMis = fdpfMismatch(c, aPos, mPos, vm, p, q, rhsP, rhsQ)
 		if maxMis < opts.Tol {
 			return iter - 1, maxMis, true, nil
@@ -101,7 +103,7 @@ func fdpfInner(n *model.Network, y *model.Ybus, c *classification, vm, va []floa
 		}
 		// Q-V half step.
 		if nm > 0 {
-			injectionsInto(y, vm, va, p, q)
+			injectionsInto(y, vm, va, cs, sn, p, q)
 			fdpfMismatch(c, aPos, mPos, vm, p, q, rhsP, rhsQ)
 			if err := luQ.SolveInto(dvm, rhsQ, workQ); err != nil {
 				return iter, maxMis, false, err
@@ -116,7 +118,7 @@ func fdpfInner(n *model.Network, y *model.Ybus, c *classification, vm, va []floa
 			}
 		}
 	}
-	injectionsInto(y, vm, va, p, q)
+	injectionsInto(y, vm, va, cs, sn, p, q)
 	maxMis = fdpfMismatch(c, aPos, mPos, vm, p, q, rhsP, rhsQ)
 	return opts.MaxIter, maxMis, maxMis < opts.Tol, nil
 }

@@ -51,17 +51,19 @@ func newtonInner(n *model.Network, y *model.Ybus, c *classification, vm, va []fl
 	work := make([]float64, dim)
 	p := make([]float64, nb)
 	q := make([]float64, nb)
+	cs := make([]float64, nb)
+	sn := make([]float64, nb)
 	jac := newJacobian(y, aPos, mPos, dim)
 	var lu *sparse.LU
 	var colPerm []int
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		injectionsInto(y, vm, va, p, q)
+		injectionsInto(y, vm, va, cs, sn, p, q)
 		maxMis := mismatchInto(c, isPQ, aPos, mPos, p, q, rhs)
 		if maxMis < opts.Tol {
 			return iter - 1, maxMis, true, nil
 		}
 
-		jac.refill(y, aPos, mPos, vm, va, p, q)
+		jac.refill(y, aPos, mPos, vm, cs, sn, p, q)
 		if lu == nil {
 			if colPerm = lookupOrdering(opts.Reorder, dim); colPerm == nil {
 				colPerm = sparse.MinDegree(jac.mat)
@@ -94,7 +96,7 @@ func newtonInner(n *model.Network, y *model.Ybus, c *classification, vm, va []fl
 			}
 		}
 	}
-	injectionsInto(y, vm, va, p, q)
+	injectionsInto(y, vm, va, cs, sn, p, q)
 	maxMis := mismatchInto(c, isPQ, aPos, mPos, p, q, rhs)
 	return opts.MaxIter, maxMis, maxMis < opts.Tol, nil
 }
@@ -104,15 +106,22 @@ func newtonInner(n *model.Network, y *model.Ybus, c *classification, vm, va []fl
 func injections(y *model.Ybus, vm, va []float64) (p, q []float64) {
 	p = make([]float64, y.N)
 	q = make([]float64, y.N)
-	injectionsInto(y, vm, va, p, q)
+	cs := make([]float64, y.N)
+	sn := make([]float64, y.N)
+	injectionsInto(y, vm, va, cs, sn, p, q)
 	return p, q
 }
 
 // injectionsInto is the allocation-free form of injections: it overwrites
-// p and q (length nb) in place.
-func injectionsInto(y *model.Ybus, vm, va []float64, p, q []float64) {
+// p and q (length nb) in place. cs and sn are caller-owned scratch (length
+// nb) that receive cos(va)/sin(va); angle differences across entries are
+// expanded through the addition identities, so the per-structural-nonzero
+// cost is multiplies instead of transcendental calls.
+func injectionsInto(y *model.Ybus, vm, va []float64, cs, sn, p, q []float64) {
 	for i := range p {
 		p[i], q[i] = 0, 0
+		cs[i] = math.Cos(va[i])
+		sn[i] = math.Sin(va[i])
 	}
 	for k, nz := range y.NZ {
 		yij := y.NZv[k]
@@ -121,8 +130,8 @@ func injectionsInto(y *model.Ybus, vm, va []float64, p, q []float64) {
 			continue
 		}
 		i, j := nz[0], nz[1]
-		th := va[i] - va[j]
-		ct, st := math.Cos(th), math.Sin(th)
+		ct := cs[i]*cs[j] + sn[i]*sn[j] // cos(va_i − va_j)
+		st := sn[i]*cs[j] - cs[i]*sn[j] // sin(va_i − va_j)
 		vv := vm[i] * vm[j]
 		p[i] += vv * (g*ct + b*st)
 		q[i] += vv * (g*st - b*ct)
@@ -210,8 +219,9 @@ func newJacobian(y *model.Ybus, aPos, mPos []int, dim int) *jacobian {
 }
 
 // refill recomputes the Jacobian values at the current state, writing
-// through the slot map. No allocation, no pattern work.
-func (ja *jacobian) refill(y *model.Ybus, aPos, mPos []int, vm, va, p, q []float64) {
+// through the slot map. No allocation, no pattern work. cs and sn hold
+// cos(va)/sin(va) as filled by injectionsInto for the same state.
+func (ja *jacobian) refill(y *model.Ybus, aPos, mPos []int, vm, cs, sn, p, q []float64) {
 	val := ja.mat.Values()
 	k := 0
 	put := func(v float64) {
@@ -236,8 +246,8 @@ func (ja *jacobian) refill(y *model.Ybus, aPos, mPos []int, vm, va, p, q []float
 		}
 	}, func(i, j int, yij complex128) {
 		g, b := real(yij), imag(yij)
-		th := va[i] - va[j]
-		ct, st := math.Cos(th), math.Sin(th)
+		ct := cs[i]*cs[j] + sn[i]*sn[j] // cos(va_i − va_j)
+		st := sn[i]*cs[j] - cs[i]*sn[j] // sin(va_i − va_j)
 		vij := vm[i] * vm[j]
 		dPdA := vij * (g*st - b*ct)   // dP_i/dVa_j
 		dPdM := vm[i] * (g*ct + b*st) // dP_i/dVm_j

@@ -185,10 +185,17 @@ func startVoltages(n *model.Network, opts Options) (vm, va []float64) {
 	nb := len(n.Buses)
 	vm = make([]float64, nb)
 	va = make([]float64, nb)
+	startVoltagesInto(n, opts, vm, va)
+	return vm, va
+}
+
+// startVoltagesInto is the allocation-free form of startVoltages, writing
+// into caller-owned buffers.
+func startVoltagesInto(n *model.Network, opts Options, vm, va []float64) {
 	if opts.Warm != nil {
 		copy(vm, opts.Warm.Vm)
 		copy(va, opts.Warm.Va)
-		return vm, va
+		return
 	}
 	for i, b := range n.Buses {
 		if opts.FlatStart {
@@ -205,7 +212,6 @@ func startVoltages(n *model.Network, opts Options) (vm, va []float64) {
 			}
 		}
 	}
-	return vm, va
 }
 
 // Solve runs the configured power flow on the network.
@@ -245,6 +251,7 @@ func solveACOuter(n *model.Network, opts Options, inner innerSolver) (*Result, e
 	vm, va := startVoltages(n, opts)
 
 	res := &Result{Algorithm: opts.Algorithm}
+	var qScratch *qSwitchScratch
 	const maxQRounds = 6
 	for round := 0; ; round++ {
 		iter, mis, conv, err := inner(n, y, c, vm, va, opts)
@@ -262,7 +269,10 @@ func solveACOuter(n *model.Network, opts Options, inner innerSolver) (*Result, e
 		if !opts.EnforceQLimits || round >= maxQRounds {
 			break
 		}
-		if !switchPVtoPQ(y, c, vm, va) {
+		if qScratch == nil {
+			qScratch = newQSwitchScratch(len(n.Buses))
+		}
+		if !switchPVtoPQ(y, c, vm, va, qScratch) {
 			break
 		}
 	}
@@ -270,16 +280,30 @@ func solveACOuter(n *model.Network, opts Options, inner innerSolver) (*Result, e
 	return res, nil
 }
 
+// qSwitchScratch holds the injection-evaluation buffers of switchPVtoPQ so
+// repeated Q-limit rounds (and view-solver sweeps) allocate nothing.
+type qSwitchScratch struct {
+	p, q, cs, sn []float64
+}
+
+func newQSwitchScratch(nb int) *qSwitchScratch {
+	return &qSwitchScratch{
+		p:  make([]float64, nb),
+		q:  make([]float64, nb),
+		cs: make([]float64, nb),
+		sn: make([]float64, nb),
+	}
+}
+
 // switchPVtoPQ checks reactive outputs at PV buses against aggregate
 // capability; violated buses become PQ pinned at the limit. Reports
 // whether any switch happened.
-func switchPVtoPQ(y *model.Ybus, c *classification, vm, va []float64) bool {
-	v := model.VoltageVector(vm, va)
-	s := y.Injections(v)
+func switchPVtoPQ(y *model.Ybus, c *classification, vm, va []float64, sc *qSwitchScratch) bool {
+	injectionsInto(y, vm, va, sc.cs, sc.sn, sc.p, sc.q)
 	switched := false
 	kept := c.pv[:0]
 	for _, i := range c.pv {
-		qInj := imag(s[i])        // net injection needed at solution
+		qInj := sc.q[i]           // net injection needed at solution
 		qGen := qInj - c.qSpec[i] // generator share (qSpec holds −load)
 		switch {
 		case qGen > c.qMaxBus[i]+1e-9:
@@ -298,12 +322,55 @@ func switchPVtoPQ(y *model.Ybus, c *classification, vm, va []float64) bool {
 	return switched
 }
 
+// resultScratch caches the per-network state finishResult needs — bus→
+// generator indices, aggregate bus loads, and complex work vectors — so
+// repeated result assembly (one per outage in a sweep) neither rescans the
+// generator list per bus nor allocates the intermediates.
+type resultScratch struct {
+	v, s         []complex128
+	gensAt       [][]int
+	loadP, loadQ []float64
+}
+
+// newResultScratch precomputes the cache for n. The aggregation order
+// matches GensAtBus/BusLoad exactly, so cached and uncached assembly are
+// value-identical.
+func newResultScratch(n *model.Network) *resultScratch {
+	nb := len(n.Buses)
+	sc := &resultScratch{
+		v:      make([]complex128, nb),
+		s:      make([]complex128, nb),
+		gensAt: make([][]int, nb),
+		loadP:  make([]float64, nb),
+		loadQ:  make([]float64, nb),
+	}
+	for gi, g := range n.Gens {
+		if g.InService {
+			sc.gensAt[g.Bus] = append(sc.gensAt[g.Bus], gi)
+		}
+	}
+	for _, l := range n.Loads {
+		if l.InService {
+			sc.loadP[l.Bus] += l.P
+			sc.loadQ[l.Bus] += l.Q
+		}
+	}
+	return sc
+}
+
 // finishResult computes flows, losses, generator allocations and extrema.
+// One-shot solves build the scratch fresh; sweeps pass a reused one.
 func finishResult(n *model.Network, y *model.Ybus, c *classification, vm, va []float64, res *Result) {
+	finishResultScratch(n, y, c, vm, va, res, newResultScratch(n))
+}
+
+// finishResultScratch is finishResult against a caller-provided scratch.
+func finishResultScratch(n *model.Network, y *model.Ybus, c *classification, vm, va []float64, res *Result, sc *resultScratch) {
 	nb := len(n.Buses)
 	res.Voltages = VoltageProfile{Vm: append([]float64(nil), vm...), Va: append([]float64(nil), va...)}
-	v := model.VoltageVector(vm, va)
-	s := y.Injections(v)
+	v, s := sc.v, sc.s
+	model.VoltageVectorInto(v, vm, va)
+	y.InjectionsInto(s, v)
 
 	res.Flows = make([]BranchFlow, len(n.Branches))
 	var lossP float64
@@ -328,11 +395,11 @@ func finishResult(n *model.Network, y *model.Ybus, c *classification, vm, va []f
 	res.GenP = make([]float64, len(n.Gens))
 	res.GenQ = make([]float64, len(n.Gens))
 	for i := 0; i < nb; i++ {
-		gens := n.GensAtBus(i)
+		gens := sc.gensAt[i]
 		if len(gens) == 0 {
 			continue
 		}
-		loadP, loadQ := n.BusLoad(i)
+		loadP, loadQ := sc.loadP[i], sc.loadQ[i]
 		busGenP := real(s[i])*n.BaseMVA + loadP
 		busGenQ := imag(s[i])*n.BaseMVA + loadQ
 		if i != c.slack {

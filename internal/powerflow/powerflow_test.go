@@ -268,8 +268,14 @@ func TestJacobianMatchesFiniteDifferences(t *testing.T) {
 	mPos := []int{-1, -1, 2}
 	dim := 3
 	p, q := injections(y, vm, va)
+	cs := make([]float64, nb)
+	sn := make([]float64, nb)
+	for i := range va {
+		cs[i] = math.Cos(va[i])
+		sn[i] = math.Sin(va[i])
+	}
 	ja := newJacobian(y, aPos, mPos, dim)
-	ja.refill(y, aPos, mPos, vm, va, p, q)
+	ja.refill(y, aPos, mPos, vm, cs, sn, p, q)
 	jac := ja.mat
 
 	const h = 1e-7

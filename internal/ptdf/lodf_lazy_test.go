@@ -1,0 +1,183 @@
+package ptdf
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"gridmind/internal/cases"
+	"gridmind/internal/model"
+)
+
+// denseLODFReference reconstructs the dense LODF matrix exactly the way the
+// eager pre-PR implementation did, straight from the PTDF rows; the lazy
+// columns are pinned to it entry for entry.
+func denseLODFReference(n *model.Network, m *Matrix) [][]float64 {
+	nbr := len(n.Branches)
+	lodf := make([][]float64, nbr)
+	for k := range lodf {
+		lodf[k] = make([]float64, nbr)
+	}
+	for mm, brM := range n.Branches {
+		if !brM.InService || brM.X == 0 {
+			continue
+		}
+		denom := 1 - (m.PTDF[mm][brM.From] - m.PTDF[mm][brM.To])
+		if math.Abs(denom) < 1e-8 {
+			for k := range n.Branches {
+				lodf[k][mm] = math.NaN()
+			}
+			continue
+		}
+		for k, brK := range n.Branches {
+			if !brK.InService || brK.X == 0 {
+				continue
+			}
+			if k == mm {
+				lodf[k][mm] = -1
+				continue
+			}
+			lodf[k][mm] = (m.PTDF[k][brM.From] - m.PTDF[k][brM.To]) / denom
+		}
+	}
+	return lodf
+}
+
+func TestLazyLODFColumnsMatchDense(t *testing.T) {
+	for _, name := range []string{"case14", "case30", "case57"} {
+		n := cases.MustLoad(name)
+		m, err := Build(n)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		dense := denseLODFReference(n, m)
+		for mm := range n.Branches {
+			col, err := m.LODFCol(mm)
+			if err == ErrIslanding {
+				// The dense construction marked islanding columns NaN.
+				if !math.IsNaN(dense[mm][mm]) && (n.Branches[mm].InService && n.Branches[mm].X != 0) {
+					t.Fatalf("%s branch %d: lazy says islanding, dense does not", name, mm)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s branch %d: %v", name, mm, err)
+			}
+			if n.Branches[mm].InService && n.Branches[mm].X != 0 && math.IsNaN(dense[mm][mm]) {
+				t.Fatalf("%s branch %d: dense says islanding, lazy does not", name, mm)
+			}
+			for k := range n.Branches {
+				if got, want := col[k], dense[k][mm]; got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+					t.Fatalf("%s LODF[%d][%d] = %v, dense %v", name, k, mm, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLazyLODFIslandingSentinels(t *testing.T) {
+	// Branch 13 (7-8) is radial in case14: LODFs undefined -> islanding,
+	// from both the column accessor and PostOutageFlows.
+	n := cases.MustLoad("case14")
+	m, err := Build(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LODFCol(13); err != ErrIslanding {
+		t.Fatalf("LODFCol radial err = %v, want ErrIslanding", err)
+	}
+	// The sentinel is memoized: asking again returns the same error.
+	if _, err := m.LODFCol(13); err != ErrIslanding {
+		t.Fatalf("memoized radial err = %v, want ErrIslanding", err)
+	}
+	pre := make([]float64, len(n.Branches))
+	if _, err := m.PostOutageFlows(pre, 13); err != ErrIslanding {
+		t.Fatalf("PostOutageFlows radial err = %v, want ErrIslanding", err)
+	}
+}
+
+func TestLazyLODFMemoization(t *testing.T) {
+	n := cases.MustLoad("case30")
+	m, err := Build(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := m.LODFCol(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := m.LODFCol(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same backing array <=> the memo was hit, not recomputed.
+	if &first[0] != &second[0] {
+		t.Fatal("second access recomputed the column instead of hitting the memo")
+	}
+}
+
+func TestLazyLODFOutOfServiceColumnIsZero(t *testing.T) {
+	n := cases.MustLoad("case30")
+	n.Branches[4].InService = false
+	m, err := Build(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := m.LODFCol(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range col {
+		if v != 0 {
+			t.Fatalf("out-of-service outage column has nonzero entry %d: %v", k, v)
+		}
+	}
+	// PostOutageFlows then predicts "nothing changes", as the dense path did.
+	pre := make([]float64, len(n.Branches))
+	for k := range pre {
+		pre[k] = float64(k + 1)
+	}
+	flows, err := m.PostOutageFlows(pre, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range flows {
+		if k == 4 {
+			continue
+		}
+		if flows[k] != pre[k] {
+			t.Fatalf("branch %d: %v != %v", k, flows[k], pre[k])
+		}
+	}
+}
+
+// TestLazyLODFConcurrentAccess hammers the memo from many goroutines; the
+// race detector (CI runs go test -race) validates the locking discipline.
+func TestLazyLODFConcurrentAccess(t *testing.T) {
+	n := cases.MustLoad("case57")
+	m, err := Build(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := denseLODFReference(n, m)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				for mm := range n.Branches {
+					col, err := m.LODFCol(mm)
+					if err != nil {
+						continue
+					}
+					if col[(mm+w)%len(col)] != dense[(mm+w)%len(col)][mm] {
+						t.Errorf("worker %d: column %d wrong under concurrency", w, mm)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -8,6 +8,10 @@
 // outage whose LODF-predicted worst loading is far below the threshold is
 // classified secure without a full AC solve, reproducing the classic
 // screening stage of production contingency analysis [Ejebe & Wollenberg].
+//
+// LODF columns are computed lazily from the PTDF rows and memoized per
+// outage: a sweep that screens most outages touches only the columns it
+// needs, instead of materializing the dense O(nbr²) LODF matrix up front.
 package ptdf
 
 import (
@@ -16,6 +20,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"gridmind/internal/model"
 	"gridmind/internal/sparse"
@@ -28,26 +33,57 @@ type Matrix struct {
 	// PTDF[k][i] is the MW flow change on branch k per MW injected at bus
 	// i (withdrawn at the slack).
 	PTDF [][]float64
-	// LODF[k][m] is the fraction of branch m's pre-outage flow that
-	// appears on branch k when m is tripped. LODF[m][m] = -1.
-	LODF [][]float64
 
 	nb, nbr int
 	slack   int
+
+	// Branch snapshot captured at Build, so lazy LODF columns do not
+	// depend on the (possibly since-mutated) source network.
+	from, to []int
+	valid    []bool // in-service with nonzero reactance
+
+	// Lazy LODF memo: column mm is computed from the PTDF rows on first
+	// access (O(nbr)) and reused afterwards. Each column has its own
+	// sync.Once, so memo hits are a lock-free fast path, concurrent first
+	// touches of distinct columns compute in parallel, and only racing
+	// accesses to the SAME column serialize. lodfIsl remembers islanding
+	// columns so their sentinel error is memoized too; both slices are
+	// published happens-before by the Once.
+	lodfOnce []sync.Once
+	lodfCols [][]float64
+	lodfIsl  []bool
 }
+
+// thetaBlock is the number of B⁻¹·e_i columns batched into one multi-RHS
+// triangular solve during Build, amortizing factor traversal.
+const thetaBlock = 16
 
 // ErrIslanding reports a radial branch whose outage disconnects the
 // network, for which LODFs are undefined.
 var ErrIslanding = errors.New("ptdf: branch outage islands the network")
 
-// Build computes PTDF and LODF matrices for the in-service DC topology.
+// Build computes the PTDF matrix for the in-service DC topology and
+// prepares the lazy LODF state. No LODF column is computed here.
 func Build(n *model.Network) (*Matrix, error) {
 	nb := len(n.Buses)
 	slack := n.SlackBus()
 	if slack < 0 {
 		return nil, errors.New("ptdf: network has no slack bus")
 	}
-	m := &Matrix{nb: nb, nbr: len(n.Branches), slack: slack}
+	nbr := len(n.Branches)
+	m := &Matrix{
+		nb: nb, nbr: nbr, slack: slack,
+		from:     make([]int, nbr),
+		to:       make([]int, nbr),
+		valid:    make([]bool, nbr),
+		lodfOnce: make([]sync.Once, nbr),
+		lodfCols: make([][]float64, nbr),
+		lodfIsl:  make([]bool, nbr),
+	}
+	for k, br := range n.Branches {
+		m.from[k], m.to[k] = br.From, br.To
+		m.valid[k] = br.InService && br.X != 0
+	}
 
 	// Reduced susceptance matrix over non-slack buses.
 	pos := make([]int, nb)
@@ -84,36 +120,54 @@ func Build(n *model.Network) (*Matrix, error) {
 		return nil, fmt.Errorf("ptdf: susceptance matrix: %w", err)
 	}
 
-	// PTDF row per branch: b_k · (eθf − eθt)ᵀ where θ = B⁻¹ e_i. The nb
-	// triangular solves against the cached factorization are independent,
-	// so they are fanned out across workers; each worker owns its rhs and
-	// workspace buffers and SolveInto keeps the inner loop allocation-free.
-	theta := make([][]float64, nb) // theta[i] = B⁻¹ e_i over non-slack buses
+	// theta[i] = B⁻¹ e_i over non-slack buses. The solves against the
+	// cached factorization are independent; workers pull blocks of
+	// thetaBlock unit right-hand sides and push each block through one
+	// SolveBlockInto, so the L/U factor patterns are traversed once per
+	// block instead of once per column.
+	theta := make([][]float64, nb)
 	theta[slack] = make([]float64, na)
+	cols := make([]int, 0, na)
+	for i := 0; i < nb; i++ {
+		if i != slack {
+			cols = append(cols, i)
+		}
+	}
 	workers := runtime.GOMAXPROCS(0)
-	if workers > nb {
-		workers = nb
+	if max := (len(cols) + thetaBlock - 1) / thetaBlock; workers > max {
+		workers = max
 	}
 	errs := make([]error, workers)
+	var next int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rhs := make([]float64, na)
-			work := make([]float64, na)
-			for i := w; i < nb; i += workers {
-				if i == slack {
-					continue
+			rhs := make([]float64, na*thetaBlock)
+			dst := make([]float64, na*thetaBlock)
+			work := make([]float64, na*thetaBlock)
+			for {
+				lo := int(atomic.AddInt64(&next, 1)-1) * thetaBlock
+				if lo >= len(cols) {
+					return
 				}
-				x := make([]float64, na)
-				rhs[pos[i]] = 1
-				if err := lu.SolveInto(x, rhs, work); err != nil {
+				hi := lo + thetaBlock
+				if hi > len(cols) {
+					hi = len(cols)
+				}
+				nrhs := hi - lo
+				for j := 0; j < nrhs; j++ {
+					rhs[j*na+pos[cols[lo+j]]] = 1
+				}
+				if err := lu.SolveBlockInto(dst[:na*nrhs], rhs[:na*nrhs], work[:na*nrhs], nrhs); err != nil {
 					errs[w] = err
 					return
 				}
-				rhs[pos[i]] = 0
-				theta[i] = x
+				for j := 0; j < nrhs; j++ {
+					rhs[j*na+pos[cols[lo+j]]] = 0
+					theta[cols[lo+j]] = append([]float64(nil), dst[j*na:(j+1)*na]...)
+				}
 			}
 		}(w)
 	}
@@ -124,11 +178,11 @@ func Build(n *model.Network) (*Matrix, error) {
 		}
 	}
 
-	m.PTDF = make([][]float64, m.nbr)
+	m.PTDF = make([][]float64, nbr)
 	for k, br := range n.Branches {
 		row := make([]float64, nb)
 		m.PTDF[k] = row
-		if !br.InService || br.X == 0 {
+		if !m.valid[k] {
 			continue
 		}
 		b := 1 / br.X
@@ -143,60 +197,64 @@ func Build(n *model.Network) (*Matrix, error) {
 			row[i] = b * (tf - tt)
 		}
 	}
-
-	// LODF from PTDF: LODF[k][m] = PTDF_k,fm−tm / (1 − PTDF_m,fm−tm).
-	m.LODF = make([][]float64, m.nbr)
-	for k := range m.LODF {
-		m.LODF[k] = make([]float64, m.nbr)
-	}
-	for mm, brM := range n.Branches {
-		if !brM.InService || brM.X == 0 {
-			continue
-		}
-		denom := 1 - (m.PTDF[mm][brM.From] - m.PTDF[mm][brM.To])
-		if math.Abs(denom) < 1e-8 {
-			// Radial branch: outage islands the network; mark with NaN so
-			// consumers fall through to the topological check.
-			for k := range n.Branches {
-				m.LODF[k][mm] = math.NaN()
-			}
-			continue
-		}
-		for k, brK := range n.Branches {
-			if !brK.InService || brK.X == 0 {
-				continue
-			}
-			if k == mm {
-				m.LODF[k][mm] = -1
-				continue
-			}
-			m.LODF[k][mm] = (m.PTDF[k][brM.From] - m.PTDF[k][brM.To]) / denom
-		}
-	}
 	return m, nil
+}
+
+// LODFCol returns column mm of the LODF matrix: LODFCol(mm)[k] is the
+// fraction of branch mm's pre-outage flow that appears on branch k when mm
+// is tripped, with the conventional −1 at k == mm and zeros on invalid
+// rows. The column is computed from the PTDF rows on first access and
+// memoized; radial (islanding) outages memoize and return ErrIslanding.
+// Out-of-service or zero-reactance mm yields an all-zero column, matching
+// the eager dense construction. The returned slice is shared — callers
+// must not modify it. Safe for concurrent use.
+func (m *Matrix) LODFCol(mm int) ([]float64, error) {
+	if mm < 0 || mm >= m.nbr {
+		return nil, fmt.Errorf("ptdf: branch %d out of range", mm)
+	}
+	m.lodfOnce[mm].Do(func() {
+		col := make([]float64, m.nbr)
+		if m.valid[mm] {
+			fm, tm := m.from[mm], m.to[mm]
+			denom := 1 - (m.PTDF[mm][fm] - m.PTDF[mm][tm])
+			if math.Abs(denom) < 1e-8 {
+				// Radial branch: outage islands the network.
+				m.lodfIsl[mm] = true
+				return
+			}
+			for k := 0; k < m.nbr; k++ {
+				if !m.valid[k] {
+					continue
+				}
+				if k == mm {
+					col[k] = -1
+					continue
+				}
+				col[k] = (m.PTDF[k][fm] - m.PTDF[k][tm]) / denom
+			}
+		}
+		m.lodfCols[mm] = col
+	})
+	if m.lodfIsl[mm] {
+		return nil, ErrIslanding
+	}
+	return m.lodfCols[mm], nil
 }
 
 // PostOutageFlows predicts DC branch flows after the outage of branch mm,
 // given pre-outage flows (MW at the from end). It returns ErrIslanding
 // for radial branches.
 func (m *Matrix) PostOutageFlows(preMW []float64, mm int) ([]float64, error) {
-	if mm < 0 || mm >= m.nbr {
-		return nil, fmt.Errorf("ptdf: branch %d out of range", mm)
-	}
-	if math.IsNaN(m.LODF[mm][mm]) {
-		return nil, ErrIslanding
+	col, err := m.LODFCol(mm)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]float64, m.nbr)
 	for k := 0; k < m.nbr; k++ {
 		if k == mm {
-			out[k] = 0
 			continue
 		}
-		l := m.LODF[k][mm]
-		if math.IsNaN(l) {
-			l = 0
-		}
-		out[k] = preMW[k] + l*preMW[mm]
+		out[k] = preMW[k] + col[k]*preMW[mm]
 	}
 	return out, nil
 }

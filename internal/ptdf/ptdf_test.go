@@ -105,8 +105,12 @@ func TestLODFDiagonalAndRadial(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Meshed branch: diagonal is -1 by convention.
-	if m.LODF[0][0] != -1 {
-		t.Fatalf("LODF[0][0] = %v", m.LODF[0][0])
+	col0, err := m.LODFCol(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col0[0] != -1 {
+		t.Fatalf("LODF[0][0] = %v", col0[0])
 	}
 	// Branch 13 (7-8) is radial in case14: LODFs undefined -> islanding.
 	pre := make([]float64, len(n.Branches))

@@ -1,0 +1,72 @@
+package sparse
+
+import "fmt"
+
+// SolveBlockInto solves A·X = B for nrhs right-hand sides at once, reusing
+// one traversal of the L and U factor patterns for the whole block instead
+// of nrhs separate passes — the multi-RHS form of SolveInto that amortizes
+// factor-index traffic across batched solves (PTDF theta columns, Woodbury
+// update columns, warm-started contingency right-hand sides).
+//
+// dst and b hold the right-hand sides column-major: column r occupies
+// [r*n, (r+1)*n). work must have the same length. dst and b may alias;
+// work must not alias either. Like SolveInto, the call performs no
+// allocation and concurrent calls on one factorization are safe when each
+// goroutine owns its buffers.
+func (f *LU) SolveBlockInto(dst, b, work []float64, nrhs int) error {
+	n := f.n
+	if nrhs < 0 {
+		return fmt.Errorf("sparse: SolveBlockInto nrhs %d", nrhs)
+	}
+	if len(b) != n*nrhs || len(dst) != n*nrhs || len(work) != n*nrhs {
+		return fmt.Errorf("sparse: SolveBlockInto buffer lengths (%d,%d,%d), want %d", len(dst), len(b), len(work), n*nrhs)
+	}
+	y := work
+	for r := 0; r < nrhs; r++ {
+		o := r * n
+		for i := 0; i < n; i++ {
+			y[o+f.pinv[i]] = b[o+i]
+		}
+	}
+	// Forward substitution L·Z = P·B: each L column is loaded once and
+	// applied to every right-hand side.
+	for j := 0; j < n; j++ {
+		lo, hi := f.lp[j]+1, f.lp[j+1]
+		for r := 0; r < nrhs; r++ {
+			o := r * n
+			yj := y[o+j]
+			if yj == 0 {
+				continue
+			}
+			for p := lo; p < hi; p++ {
+				y[o+f.li[p]] -= f.lx[p] * yj
+			}
+		}
+	}
+	// Back substitution U·W = Z.
+	for j := n - 1; j >= 0; j-- {
+		d := f.ux[f.up[j+1]-1]
+		if d == 0 {
+			return ErrSingular
+		}
+		lo, hi := f.up[j], f.up[j+1]-1
+		for r := 0; r < nrhs; r++ {
+			o := r * n
+			y[o+j] /= d
+			yj := y[o+j]
+			if yj == 0 {
+				continue
+			}
+			for p := lo; p < hi; p++ {
+				y[o+f.ui[p]] -= f.ux[p] * yj
+			}
+		}
+	}
+	for r := 0; r < nrhs; r++ {
+		o := r * n
+		for k := 0; k < n; k++ {
+			dst[o+f.q[k]] = y[o+k]
+		}
+	}
+	return nil
+}

@@ -48,6 +48,13 @@ func (f *LU) Refactorize(a *CSC) error {
 			xj := x[j]
 			f.ux[p] = xj
 			x[j] = 0
+			if xj == 0 {
+				// Exactly-zero entries propagate nothing. Patterns that
+				// carry structural zeros (e.g. the contingency solver's
+				// pinned PV rows and patched-out branch couplings) skip
+				// their whole update here.
+				continue
+			}
 			for p2 := f.lp[j] + 1; p2 < f.lp[j+1]; p2++ {
 				x[f.li[p2]] -= f.lx[p2] * xj
 			}

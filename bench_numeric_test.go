@@ -6,14 +6,16 @@ import (
 	"gridmind/internal/cases"
 	"gridmind/internal/contingency"
 	"gridmind/internal/model"
+	"gridmind/internal/opf"
 	"gridmind/internal/powerflow"
+	"gridmind/internal/scopf"
 )
 
 // Numeric-core benchmarks tracked in BENCH_numeric.json: Ybus assembly,
-// a full Newton solve, and the N-1 sweep, each over the paper-scale cases.
-// Regenerate the JSON with:
+// a full Newton solve, the N-1 sweep, the interior-point ACOPF and the
+// SCOPF loop, each over the paper-scale cases. Regenerate the JSON with:
 //
-//	go test -run '^$' -bench 'BuildYbus|NewtonSolve|N1Sweep' -benchmem .
+//	go test -run '^$' -bench 'BuildYbus|NewtonSolve|N1Sweep|ACOPF|SCOPF' -benchmem .
 
 func benchBuildYbus(b *testing.B, caseName string) {
 	n := cases.MustLoad(caseName)
@@ -67,3 +69,41 @@ func benchN1Sweep(b *testing.B, caseName string) {
 func BenchmarkN1SweepCase57(b *testing.B)      { benchN1Sweep(b, "case57") }
 func BenchmarkN1SweepCase118Full(b *testing.B) { benchN1Sweep(b, "case118") }
 func BenchmarkN1SweepCase300(b *testing.B)     { benchN1Sweep(b, "case300") }
+
+func benchACOPF(b *testing.B, caseName string) {
+	n := cases.MustLoad(caseName)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sol, err := opf.SolveACOPF(n, opf.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sol.Solved {
+			b.Fatal("not solved")
+		}
+	}
+}
+
+func BenchmarkACOPFCase14(b *testing.B)  { benchACOPF(b, "case14") }
+func BenchmarkACOPFCase30(b *testing.B)  { benchACOPF(b, "case30") }
+func BenchmarkACOPFCase57(b *testing.B)  { benchACOPF(b, "case57") }
+func BenchmarkACOPFCase118(b *testing.B) { benchACOPF(b, "case118") }
+
+func BenchmarkSCOPFCase57(b *testing.B) {
+	n := cases.MustLoad("case57")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Workers pinned to 1 so allocs/op is machine-independent (the CI
+		// guard protocol; see cmd/gridmind-bench/benchguard.go). MaxRounds 2
+		// bounds the loop the same way on every machine.
+		res, err := scopf.Solve(n, scopf.Options{Screen: true, MaxRounds: 2, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rounds < 1 {
+			b.Fatal("no rounds")
+		}
+	}
+}

@@ -19,7 +19,6 @@ import (
 	"gridmind/internal/model"
 	"gridmind/internal/opf"
 	"gridmind/internal/powerflow"
-	"gridmind/internal/scopf"
 	"gridmind/internal/sensitivity"
 	"gridmind/internal/sparse"
 )
@@ -94,24 +93,9 @@ func BenchmarkTable2CaseInventory(b *testing.B) {
 }
 
 // --- Core solver benchmarks (the deterministic substrate) ---
-
-func benchACOPF(b *testing.B, caseName string) {
-	n := cases.MustLoad(caseName)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sol, err := opf.SolveACOPF(n, opf.Options{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if !sol.Solved {
-			b.Fatal("not solved")
-		}
-	}
-}
-
-func BenchmarkACOPFCase14(b *testing.B)  { benchACOPF(b, "case14") }
-func BenchmarkACOPFCase30(b *testing.B)  { benchACOPF(b, "case30") }
-func BenchmarkACOPFCase118(b *testing.B) { benchACOPF(b, "case118") }
+//
+// The ACOPF and SCOPF benchmarks live in bench_numeric_test.go: they are
+// tracked in BENCH_numeric.json and guarded by the CI bench-regression job.
 
 func benchPowerFlow(b *testing.B, caseName string) {
 	n := cases.MustLoad(caseName)
@@ -277,17 +261,7 @@ func BenchmarkAblationScreeningOn(b *testing.B) {
 	}
 }
 
-// --- Extension workloads: SCOPF and sensitivity ---
-
-func BenchmarkSCOPFCase57(b *testing.B) {
-	n := cases.MustLoad("case57")
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := scopf.Solve(n, scopf.Options{Screen: true, MaxRounds: 2}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// --- Extension workloads: sensitivity (SCOPF is in bench_numeric_test.go) ---
 
 func BenchmarkSensitivityProbes(b *testing.B) {
 	n := cases.MustLoad("case30")

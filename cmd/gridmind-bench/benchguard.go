@@ -9,7 +9,10 @@ import (
 
 	"gridmind/internal/cases"
 	"gridmind/internal/contingency"
+	"gridmind/internal/model"
+	"gridmind/internal/opf"
 	"gridmind/internal/powerflow"
+	"gridmind/internal/scopf"
 )
 
 // benchBaseline mirrors the subset of BENCH_numeric.json the guard reads.
@@ -23,20 +26,34 @@ type benchBaseline struct {
 	} `json:"benchmarks"`
 }
 
-// runBenchGuard executes the N-1 sweep benchmark for caseName in-process
-// (minimum of three testing.Benchmark runs, to shed scheduler noise) and
-// compares it against the checked-in baseline:
+// guardSpec is one benchmark the regression gate runs in-process.
+type guardSpec struct {
+	// name matches the benchmark entry in BENCH_numeric.json (an "…Full"
+	// suffix on the recorded name is accepted).
+	name string
+	run  func(b *testing.B)
+}
+
+// runBenchGuard executes the guarded benchmarks in-process (minimum of
+// three testing.Benchmark runs each, to shed scheduler noise) and compares
+// them against the checked-in baseline:
 //
 //   - ns/op may regress at most by the tolerance fraction (wall-time guard;
 //     CI hardware is assumed no slower than the baseline machine);
 //   - allocs/op may regress at most by the same fraction — allocation
 //     counts are machine-independent, so this arm catches a reintroduced
-//     per-outage clone even on faster hardware.
+//     per-outage clone or per-iteration KKT rebuild even on faster
+//     hardware.
 //
-// The sweep runs with Workers pinned to 1, matching the baseline protocol
-// (BENCH_numeric.json is regenerated with `go test -cpu 1`): per-worker
-// context setup would otherwise scale allocs/op with the runner's core
-// count and make the comparison shape-dependent.
+// Guarded workloads (all with Workers pinned to 1, matching the baseline
+// protocol: BENCH_numeric.json is regenerated with `go test -cpu 1`, and
+// per-worker context setup would otherwise scale allocs/op with the
+// runner's core count):
+//
+//   - the N-1 sweep on caseName (the PR 2 zero-clone path);
+//   - the interior-point ACOPF on case57 and case118 (the PR 3
+//     fixed-pattern KKT path);
+//   - the SCOPF tightening loop on case57 (ACOPF × N-1 × rounds).
 func runBenchGuard(baselinePath, caseName string, tol float64) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -50,56 +67,96 @@ func runBenchGuard(baselinePath, caseName string, tol float64) error {
 	if canon == "" {
 		return fmt.Errorf("unknown case %q", caseName)
 	}
-	want := "BenchmarkN1Sweep" + strings.ToUpper(canon[:1]) + canon[1:]
-	var refNs, refAllocs float64
-	found := false
-	for _, b := range base.Benchmarks {
-		if b.Name == want || b.Name == want+"Full" {
-			refNs, refAllocs = b.After.NsOp, b.After.AllocsOp
-			found = true
-			break
-		}
-	}
-	if !found {
-		return fmt.Errorf("no %s baseline in %s", want, baselinePath)
-	}
-
-	n := cases.MustLoad(canon)
-	pf, err := powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
+	sweepCase := cases.MustLoad(canon)
+	sweepBase, err := powerflow.Solve(sweepCase, powerflow.Options{EnforceQLimits: true})
 	if err != nil {
 		return fmt.Errorf("base power flow: %w", err)
 	}
-	bestNs, bestAllocs := -1.0, -1.0
-	for rep := 0; rep < 3; rep++ {
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				// Workers pinned to 1: per-worker context setup scales
-				// allocs/op (and wall-time noise) with GOMAXPROCS, and the
-				// baseline must be comparable across CI runner shapes.
-				if _, err := contingency.Analyze(n, pf, contingency.Options{Workers: 1}); err != nil {
-					b.Fatal(err)
+
+	specs := []guardSpec{
+		{
+			name: "BenchmarkN1Sweep" + strings.ToUpper(canon[:1]) + canon[1:],
+			run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := contingency.Analyze(sweepCase, sweepBase, contingency.Options{Workers: 1}); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
-		ns := float64(r.NsPerOp())
-		allocs := float64(r.AllocsPerOp())
-		if bestNs < 0 || ns < bestNs {
-			bestNs = ns
-		}
-		if bestAllocs < 0 || allocs < bestAllocs {
-			bestAllocs = allocs
-		}
+			},
+		},
+		{name: "BenchmarkACOPFCase57", run: benchGuardACOPF(cases.MustLoad("case57"))},
+		{name: "BenchmarkACOPFCase118", run: benchGuardACOPF(cases.MustLoad("case118"))},
+		{
+			name: "BenchmarkSCOPFCase57",
+			run: func() func(b *testing.B) {
+				n := cases.MustLoad("case57")
+				return func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := scopf.Solve(n, scopf.Options{Screen: true, MaxRounds: 2, Workers: 1}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}(),
+		},
 	}
 
-	fmt.Printf("benchguard %s: %.0f ns/op (baseline %.0f), %.0f allocs/op (baseline %.0f), tolerance %.0f%%\n",
-		want, bestNs, refNs, bestAllocs, refAllocs, 100*tol)
-	if bestNs > refNs*(1+tol) {
-		return fmt.Errorf("%s ns/op regressed: %.0f > %.0f (+%.0f%% allowed)", want, bestNs, refNs, 100*tol)
-	}
-	if refAllocs > 0 && bestAllocs > refAllocs*(1+tol) {
-		return fmt.Errorf("%s allocs/op regressed: %.0f > %.0f (+%.0f%% allowed)", want, bestAllocs, refAllocs, 100*tol)
+	for _, spec := range specs {
+		var refNs, refAllocs float64
+		found := false
+		for _, b := range base.Benchmarks {
+			if b.Name == spec.name || b.Name == spec.name+"Full" {
+				refNs, refAllocs = b.After.NsOp, b.After.AllocsOp
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("no %s baseline in %s", spec.name, baselinePath)
+		}
+
+		bestNs, bestAllocs := -1.0, -1.0
+		for rep := 0; rep < 3; rep++ {
+			r := testing.Benchmark(spec.run)
+			ns := float64(r.NsPerOp())
+			allocs := float64(r.AllocsPerOp())
+			if bestNs < 0 || ns < bestNs {
+				bestNs = ns
+			}
+			if bestAllocs < 0 || allocs < bestAllocs {
+				bestAllocs = allocs
+			}
+		}
+
+		fmt.Printf("benchguard %s: %.0f ns/op (baseline %.0f), %.0f allocs/op (baseline %.0f), tolerance %.0f%%\n",
+			spec.name, bestNs, refNs, bestAllocs, refAllocs, 100*tol)
+		if bestNs > refNs*(1+tol) {
+			return fmt.Errorf("%s ns/op regressed: %.0f > %.0f (+%.0f%% allowed)", spec.name, bestNs, refNs, 100*tol)
+		}
+		if refAllocs > 0 && bestAllocs > refAllocs*(1+tol) {
+			return fmt.Errorf("%s allocs/op regressed: %.0f > %.0f (+%.0f%% allowed)", spec.name, bestAllocs, refAllocs, 100*tol)
+		}
 	}
 	fmt.Println("benchguard: OK")
 	return nil
+}
+
+// benchGuardACOPF closes over a pre-loaded network so case parsing stays
+// outside the measured loop, matching the bench_numeric_test.go protocol
+// (ResetTimer after load).
+func benchGuardACOPF(n *model.Network) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sol, err := opf.SolveACOPF(n, opf.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !sol.Solved {
+				b.Fatal("not solved")
+			}
+		}
+	}
 }

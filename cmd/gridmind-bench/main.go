@@ -12,9 +12,11 @@
 //
 //	gridmind-bench -benchguard BENCH_numeric.json
 //
-// runs the N-1 sweep smoke benchmark in-process and exits nonzero when
-// ns/op (or allocs/op, a machine-independent signal) regresses beyond the
-// tolerance against the checked-in baseline.
+// runs the guarded benchmarks in-process — the N-1 sweep (case from
+// -benchguard-case), the fixed-pattern ACOPF on case57/case118 and the
+// SCOPF loop on case57 — and exits nonzero when any ns/op (or allocs/op,
+// a machine-independent signal) regresses beyond the tolerance against
+// the checked-in baseline.
 package main
 
 import (
@@ -33,8 +35,8 @@ func main() {
 	runs := flag.Int("runs", 5, "runs per (model, case) cell")
 	caseName := flag.String("case", "case118", "fixed case for fig3-success/fig3-dist/table1")
 	models := flag.String("models", "", "comma-separated model subset (default: all six)")
-	guard := flag.String("benchguard", "", "path to BENCH_numeric.json: run the N1Sweep smoke benchmark against its recorded baseline and fail on regression")
-	guardCase := flag.String("benchguard-case", "case57", "case for the -benchguard sweep benchmark")
+	guard := flag.String("benchguard", "", "path to BENCH_numeric.json: run the guarded benchmarks (N-1 sweep, ACOPF case57/118, SCOPF case57) against their recorded baselines and fail on regression")
+	guardCase := flag.String("benchguard-case", "case57", "case for the -benchguard N-1 sweep benchmark (the ACOPF/SCOPF cases are fixed by their baselines)")
 	guardTol := flag.Float64("benchguard-tolerance", 0.30, "allowed fractional ns/op regression before -benchguard fails")
 	flag.Parse()
 

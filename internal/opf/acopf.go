@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"gridmind/internal/model"
-	"gridmind/internal/sparse"
 )
 
 // acopf holds the assembled optimization problem for one network: the
@@ -267,35 +266,41 @@ func (a *acopf) flowConstraint(k int, vm, va []float64) (hf float64, rowF []jent
 	return hf, rowF, ht, rowT
 }
 
-// hessian assembles the Lagrangian Hessian ∇²f + Σλ∇²g + Σμ∇²h.
-func (a *acopf) hessian(x, lam, mu []float64) *sparse.COO {
+// hessian emits the Lagrangian Hessian ∇²f + Σλ∇²g + Σμ∇²h.
+//
+// The emission is STRUCTURAL: every block is emitted on every call, in the
+// same order, with zero multipliers included — the historical
+// value-dependent drops (skipping buses with λ==0, branch ends with μ==0,
+// and exactly-zero block entries) made the sparsity pattern change between
+// interior-point iterations, which both blocked any compiled-pattern
+// approach and left the fill-reducing ordering computed on the
+// artificially-sparse iteration-0 system (where λ is all zero, so the
+// entire equality-Hessian block was absent). See nlp.hess and kkt.go for
+// the contract.
+func (a *acopf) hessian(x, lam, mu []float64, emit func(i, j int, v float64)) {
 	nb, base := a.nb, a.base
 	va := x[:nb]
 	vm := x[nb : 2*nb]
-	hss := sparse.NewCOO(a.nx(), a.nx())
 
 	// Objective: 2·c2·base² on the Pg diagonal.
 	for p, gi := range a.gens {
 		c2 := a.net.Gens[gi].Cost.C2
-		hss.Add(a.ixPg(p), a.ixPg(p), 2*c2*base*base)
+		emit(a.ixPg(p), a.ixPg(p), 2*c2*base*base)
 	}
 
 	// Equality part: weighted second derivatives of nodal injections.
 	for i := 0; i < nb; i++ {
 		lp, lq := lam[i], lam[nb+i]
-		if lp == 0 && lq == 0 {
-			continue
-		}
 		yii := a.y.Diag(i)
-		hss.Add(a.ixVm(i), a.ixVm(i), lp*2*real(yii)+lq*(-2*imag(yii)))
+		emit(a.ixVm(i), a.ixVm(i), lp*2*real(yii)+lq*(-2*imag(yii)))
 		for t, k := range a.nbrs[i] {
 			yik := a.nbrv[i][t]
 			gik, bik := real(yik), imag(yik)
 			tp := evalPair(gik, bik, vm[i], vm[k], va[i], va[k])
 			tq := evalPair(-bik, gik, vm[i], vm[k], va[i], va[k])
 			cols := [4]int{a.ixVa(i), a.ixVa(k), a.ixVm(i), a.ixVm(k)}
-			addBlock(hss, cols, &tp.Hess, lp)
-			addBlock(hss, cols, &tq.Hess, lq)
+			addBlock(emit, cols, &tp.Hess, lp)
+			addBlock(emit, cols, &tq.Hess, lq)
 		}
 	}
 
@@ -304,19 +309,15 @@ func (a *acopf) hessian(x, lam, mu []float64) *sparse.COO {
 	for ri, k := range a.rated {
 		muF, muT := mu[2*ri], mu[2*ri+1]
 		br := a.net.Branches[k]
-		if muF != 0 {
-			a.addFlowHessian(hss, br.From, br.To, a.y.Yff[k], a.y.Yft[k], muF, vm, va)
-		}
-		if muT != 0 {
-			a.addFlowHessian(hss, br.To, br.From, a.y.Ytt[k], a.y.Ytf[k], muT, vm, va)
-		}
+		a.addFlowHessian(emit, br.From, br.To, a.y.Yff[k], a.y.Yft[k], muF, vm, va)
+		a.addFlowHessian(emit, br.To, br.From, a.y.Ytt[k], a.y.Ytf[k], muT, vm, va)
 	}
-	return hss
 }
 
 // addFlowHessian accumulates w·∇²(P²+Q²) for one branch end:
-// ∇²h = 2(∇P∇Pᵀ + P∇²P + ∇Q∇Qᵀ + Q∇²Q).
-func (a *acopf) addFlowHessian(hss *sparse.COO, bi, bk int, yii, yik complex128, w float64, vm, va []float64) {
+// ∇²h = 2(∇P∇Pᵀ + P∇²P + ∇Q∇Qᵀ + Q∇²Q). All 16 block entries are emitted
+// unconditionally (structural emission contract).
+func (a *acopf) addFlowHessian(emit func(i, j int, v float64), bi, bk int, yii, yik complex128, w float64, vm, va []float64) {
 	gii, bii := real(yii), imag(yii)
 	gik, bik := real(yik), imag(yik)
 	tp := evalPair(gik, bik, vm[bi], vm[bk], va[bi], va[bk])
@@ -338,23 +339,17 @@ func (a *acopf) addFlowHessian(hss *sparse.COO, bi, bk int, yii, yik complex128,
 	for r := 0; r < 4; r++ {
 		for c := 0; c < 4; c++ {
 			v := 2 * (gp[r]*gp[c] + p*hp[r][c] + gq[r]*gq[c] + q*hq[r][c])
-			if v != 0 {
-				hss.Add(cols[r], cols[c], w*v)
-			}
+			emit(cols[r], cols[c], w*v)
 		}
 	}
 }
 
-// addBlock accumulates w·H over the 4-variable block.
-func addBlock(hss *sparse.COO, cols [4]int, h *[4][4]float64, w float64) {
-	if w == 0 {
-		return
-	}
+// addBlock accumulates w·H over the 4-variable block, emitting every entry
+// unconditionally (structural emission contract).
+func addBlock(emit func(i, j int, v float64), cols [4]int, h *[4][4]float64, w float64) {
 	for r := 0; r < 4; r++ {
 		for c := 0; c < 4; c++ {
-			if h[r][c] != 0 {
-				hss.Add(cols[r], cols[c], w*h[r][c])
-			}
+			emit(cols[r], cols[c], w*h[r][c])
 		}
 	}
 }

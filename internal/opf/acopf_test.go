@@ -166,7 +166,9 @@ func TestACOPFHessianFD(t *testing.T) {
 		addJTVec(lx, ev.DH, mu)
 		return lx
 	}
-	hess := a.hessian(x, lam, mu).ToCSC()
+	hcoo := sparse.NewCOO(a.nx(), a.nx())
+	a.hessian(x, lam, mu, hcoo.Add)
+	hess := hcoo.ToCSC()
 
 	const h = 1e-6
 	// Spot-check a random subset of columns (full check is O(nx²) evals).
@@ -366,11 +368,9 @@ func TestIPMOnQP(t *testing.T) {
 				DH:   [][]jentry{{{0, -1}}},
 			}
 		},
-		hess: func(x, lam, mu []float64) *sparse.COO {
-			h := sparse.NewCOO(2, 2)
-			h.Add(0, 0, 2)
-			h.Add(1, 1, 2)
-			return h
+		hess: func(x, lam, mu []float64, emit func(i, j int, v float64)) {
+			emit(0, 0, 2)
+			emit(1, 1, 2)
 		},
 	}
 	res, err := solveIPM(p, ipmOptions{})
@@ -433,11 +433,9 @@ func TestIPMEqualityOnly(t *testing.T) {
 				DH:   [][]jentry{},
 			}
 		},
-		hess: func(x, lam, mu []float64) *sparse.COO {
-			h := sparse.NewCOO(2, 2)
-			h.Add(0, 0, 2)
-			h.Add(1, 1, 2)
-			return h
+		hess: func(x, lam, mu []float64, emit func(i, j int, v float64)) {
+			emit(0, 0, 2)
+			emit(1, 1, 2)
 		},
 	}
 	res, err := solveIPM(p, ipmOptions{})

@@ -7,7 +7,6 @@ import (
 
 	"gridmind/internal/model"
 	"gridmind/internal/powerflow"
-	"gridmind/internal/sparse"
 )
 
 // SolveDCOPF solves the linearized DC optimal power flow on the same
@@ -118,17 +117,15 @@ func SolveDCOPF(n *model.Network, opts Options) (*Solution, error) {
 		}
 		return ev
 	}
-	hess := func(x, lam, mu []float64) *sparse.COO {
-		h := sparse.NewCOO(nx, nx)
+	hess := func(x, lam, mu []float64, emit func(i, j int, v float64)) {
 		for p, gi := range gens {
-			h.Add(ixPg(p), ixPg(p), 2*n.Gens[gi].Cost.C2*base*base)
+			emit(ixPg(p), ixPg(p), 2*n.Gens[gi].Cost.C2*base*base)
 		}
 		// Keep θ diagonal structurally nonzero: the DC objective has no
 		// curvature there, curvature comes only via constraints.
 		for i := 0; i < nb; i++ {
-			h.Add(ixTh(i), ixTh(i), 0)
+			emit(ixTh(i), ixTh(i), 0)
 		}
-		return h
 	}
 
 	res, ipmErr := solveIPM(&nlp{nx: nx, ng: ng, nh: nh, x0: x0, eval: eval, hess: hess}, ipmOptions{

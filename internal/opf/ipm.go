@@ -16,7 +16,10 @@ type jentry struct {
 
 // nlpEval carries a full problem evaluation at one point: objective with
 // gradient, equality constraints g(x)=0 and inequality constraints h(x)≤0
-// with row-wise sparse Jacobians.
+// with row-wise sparse Jacobians. The row patterns (columns and their
+// order) must depend only on the problem structure, never on x: the
+// fixed-pattern KKT path compiles its sparsity from one evaluation and
+// refills values through a slot map on all later ones.
 type nlpEval struct {
 	F    float64
 	Grad []float64
@@ -31,9 +34,13 @@ type nlp struct {
 	nx, ng, nh int
 	x0         []float64
 	eval       func(x []float64) *nlpEval
-	// hess returns the Hessian of the Lagrangian ∇²f + Σλᵢ∇²gᵢ + Σμᵢ∇²hᵢ
-	// as a full symmetric triplet matrix.
-	hess func(x, lam, mu []float64) *sparse.COO
+	// hess emits the Hessian of the Lagrangian ∇²f + Σλᵢ∇²gᵢ + Σμᵢ∇²hᵢ as
+	// (row, col, value) triplets; duplicate coordinates accumulate. The
+	// emission must be STRUCTURAL: every entry on every call, in the same
+	// order, regardless of multiplier values (zeros included) — a
+	// value-dependent skip would change the pattern between iterations and
+	// corrupt the compiled slot mapping (kkt.go checks the count).
+	hess func(x, lam, mu []float64, emit func(i, j int, v float64))
 }
 
 // ipmOptions tunes the primal-dual interior-point solver. Zero values
@@ -41,6 +48,16 @@ type nlp struct {
 type ipmOptions struct {
 	FeasTol, GradTol, CompTol, CostTol float64
 	MaxIter                            int
+	// kkt, when non-nil, supplies a (possibly pre-compiled) fixed-pattern
+	// KKT system, letting warm-started re-solves on the same topology skip
+	// pattern compilation and LU symbolic analysis. Nil compiles a private
+	// one on the first iteration.
+	kkt *kktSystem
+	// reference selects the legacy per-iteration assembly pipeline —
+	// triplet COO, CSC compression and a full symbolic+numeric LU
+	// factorization every iteration. Test-only: it exists as the
+	// differential reference the fixed-pattern path is pinned against.
+	reference bool
 }
 
 func (o *ipmOptions) fill() {
@@ -76,6 +93,43 @@ type ipmResult struct {
 // errNumerical reports a numerical breakdown inside the IPM.
 var errNumerical = errors.New("opf: numerical failure in interior-point step")
 
+// costProgress is the relative cost-decrease convergence measure
+// |F − fOld| / (1 + |fOld|). On the first iteration there is no previous
+// objective (fOld starts at +Inf) and the raw formula would evaluate to
+// Inf/Inf = NaN — which historically failed the convergence conjunction
+// only by the accident that NaN compares false. The criterion is
+// explicitly "not yet measurable" (+Inf) until two iterates exist, so any
+// comparison ordering a future refactor introduces stays safe.
+func costProgress(f, fOld float64) float64 {
+	if math.IsInf(fOld, 0) {
+		return math.Inf(1)
+	}
+	return math.Abs(f-fOld) / (1 + math.Abs(fOld))
+}
+
+// referenceKKT is the legacy per-iteration assembly pipeline, kept only as
+// the differential-test reference: build a COO, compress to CSC, reuse an
+// RCM ordering computed on the first iteration's pattern, and run a full
+// LU factorization every iteration.
+type referenceKKT struct {
+	colPerm []int
+}
+
+func (rk *referenceKKT) solve(p *nlp, ev *nlpEval, x, lam, mu, z, rhs []float64) ([]float64, error) {
+	dim := p.nx + p.ng
+	kkt := sparse.NewCOO(dim, dim)
+	assembleKKT(p, ev, x, lam, mu, z, kkt.Add)
+	csc := kkt.ToCSC()
+	if rk.colPerm == nil {
+		rk.colPerm = sparse.RCM(csc)
+	}
+	lu, err := sparse.Factorize(csc, sparse.Options{ColPerm: rk.colPerm})
+	if err != nil {
+		return nil, err
+	}
+	return lu.Solve(rhs)
+}
+
 // solveIPM runs the MIPS-style primal-dual interior-point method
 // (Wang, Murillo-Sánchez, Zimmerman & Thomas): slack variables z>0 turn
 // h(x)≤0 into h(x)+z=0, a log barrier with parameter γ enforces z>0, and
@@ -85,6 +139,13 @@ var errNumerical = errors.New("opf: numerical failure in interior-point step")
 //	[ dg  0  ] [Δλ  ] = [ −g ]
 //
 // with M = ∇²L + dhᵀ·diag(μ/z)·dh and N = ∇L + dhᵀ·(γ + μ∘h)/z.
+//
+// The KKT sparsity pattern is fixed by the problem structure, so it is
+// compiled once (or inherited pre-compiled from a reusable Context) and
+// after iteration 0 each step performs only a slot-map value refill, an
+// LU Refactorize on the retained symbolic analysis, and an allocation-free
+// SolveInto — no COO construction, no CSC compression, no symbolic
+// factorization.
 func solveIPM(p *nlp, opts ipmOptions) (*ipmResult, error) {
 	opts.fill()
 	const (
@@ -94,6 +155,7 @@ func solveIPM(p *nlp, opts ipmOptions) (*ipmResult, error) {
 		gam0  = 1.0
 	)
 	nx, ng, nh := p.nx, p.ng, p.nh
+	dim := nx + ng
 
 	x := append([]float64(nil), p.x0...)
 	lam := make([]float64, ng)
@@ -116,12 +178,24 @@ func solveIPM(p *nlp, opts ipmOptions) (*ipmResult, error) {
 		gamma = sigma * dotVec(z, mu) / float64(nh)
 	}
 
+	kkt := opts.kkt
+	if kkt == nil && !opts.reference {
+		kkt = &kktSystem{}
+	}
+	compiledThisSolve := false // distinguishes cached patterns from own ones
+	var ref referenceKKT
+
+	// Per-solve buffers, allocated once and refilled every iteration.
+	lx := make([]float64, nx)
+	rhs := make([]float64, dim)
+	dz := make([]float64, nh)
+	dmu := make([]float64, nh)
+
 	res := &ipmResult{}
 	fOld := math.Inf(1)
-	var colPerm []int // fill-reducing order, reused across iterations
 	for iter := 0; iter <= opts.MaxIter; iter++ {
 		// Lagrangian gradient Lx = ∇f + dgᵀλ + dhᵀμ.
-		lx := append([]float64(nil), ev.Grad...)
+		copy(lx, ev.Grad)
 		addJTVec(lx, ev.DG, lam)
 		addJTVec(lx, ev.DH, mu)
 
@@ -141,7 +215,7 @@ func solveIPM(p *nlp, opts ipmOptions) (*ipmResult, error) {
 		if nh > 0 {
 			comp = dotVec(z, mu) / (1 + normInf(x))
 		}
-		cost := math.Abs(ev.F-fOld) / (1 + math.Abs(fOld))
+		cost := costProgress(ev.F, fOld)
 		res.Iterations = iter
 		res.FeasCond, res.GradCond, res.CompCond = feas, grad, comp
 		if feas < opts.FeasTol && grad < opts.GradTol && comp < opts.CompTol && cost < opts.CostTol {
@@ -156,52 +230,51 @@ func solveIPM(p *nlp, opts ipmOptions) (*ipmResult, error) {
 		}
 		fOld = ev.F
 
-		// Reduced KKT assembly.
-		kkt := sparse.NewCOO(nx+ng, nx+ng)
-		hessCOO := p.hess(x, lam, mu)
-		appendCOO(kkt, hessCOO, 0, 0)
-		n := append([]float64(nil), lx...)
+		// Reduced KKT right-hand side: [−N ; −g].
+		for i := 0; i < nx; i++ {
+			rhs[i] = -lx[i]
+		}
 		for r := 0; r < nh; r++ {
-			w := mu[r] / z[r]
-			row := ev.DH[r]
-			for _, a := range row {
-				for _, b := range row {
-					kkt.Add(a.col, b.col, w*a.val*b.val)
-				}
-			}
 			coef := (gamma + mu[r]*ev.H[r]) / z[r]
-			for _, a := range row {
-				n[a.col] += coef * a.val
+			for _, a := range ev.DH[r] {
+				rhs[a.col] -= coef * a.val
 			}
-		}
-		for i, row := range ev.DG {
-			for _, a := range row {
-				kkt.Add(nx+i, a.col, a.val)
-				kkt.Add(a.col, nx+i, a.val)
-			}
-			// Keep the diagonal structurally present for robustness.
-			kkt.Add(nx+i, nx+i, 0)
-		}
-		rhs := make([]float64, nx+ng)
-		for i := range n {
-			rhs[i] = -n[i]
 		}
 		for i, g := range ev.G {
 			rhs[nx+i] = -g
 		}
-		kktCSC := kkt.ToCSC()
-		if colPerm == nil {
-			// The KKT sparsity pattern is essentially constant across
-			// iterations (same constraint structure), so the RCM order
-			// can be computed once and reused.
-			colPerm = sparse.RCM(kktCSC)
+
+		// Newton direction.
+		var sol []float64
+		var err error
+		if opts.reference {
+			sol, err = ref.solve(p, ev, x, lam, mu, z, rhs)
+		} else {
+			err = nil
+			if kkt.compiled() {
+				if err = kkt.refill(p, ev, x, lam, mu, z); err != nil && !compiledThisSolve {
+					// Coordinate drift against a pattern cached from an
+					// EARLIER solve: a structural change slipped past the
+					// signature — recompile for this problem and continue.
+					// Drift against a pattern compiled in THIS solve is a
+					// value-dependent emitter, a contract violation that must
+					// fail loudly (reported distinctly from singularity).
+					kkt.mat = nil
+					err = nil
+				}
+			}
+			if err == nil && !kkt.compiled() {
+				// compile captures the pattern AND accumulates the values,
+				// so the compile iteration needs no refill pass.
+				kkt.compile(p, ev, x, lam, mu, z)
+				compiledThisSolve = true
+			}
+			if err != nil {
+				res.Message = err.Error()
+				return res, fmt.Errorf("%w: %s", errNumerical, res.Message)
+			}
+			sol, err = kkt.factorAndSolve(rhs)
 		}
-		lu, err := sparse.Factorize(kktCSC, sparse.Options{ColPerm: colPerm})
-		if err != nil {
-			res.Message = "singular KKT system: " + err.Error()
-			return res, fmt.Errorf("%w: %s", errNumerical, res.Message)
-		}
-		sol, err := lu.Solve(rhs)
 		if err != nil {
 			res.Message = "singular KKT system: " + err.Error()
 			return res, fmt.Errorf("%w: %s", errNumerical, res.Message)
@@ -214,8 +287,6 @@ func solveIPM(p *nlp, opts ipmOptions) (*ipmResult, error) {
 		}
 
 		// Slack and multiplier directions.
-		dz := make([]float64, nh)
-		dmu := make([]float64, nh)
 		for r := 0; r < nh; r++ {
 			d := -ev.H[r] - z[r]
 			for _, a := range ev.DH[r] {
@@ -307,11 +378,4 @@ func addJTVec(out []float64, rows [][]jentry, w []float64) {
 			out[a.col] += wr * a.val
 		}
 	}
-}
-
-// appendCOO copies src triplets into dst with the given offsets.
-func appendCOO(dst, src *sparse.COO, rowOff, colOff int) {
-	src.Each(func(i, j int, v float64) {
-		dst.Add(i+rowOff, j+colOff, v)
-	})
 }

@@ -27,6 +27,17 @@ type Options struct {
 	// solution's operating point (voltages and dispatch). ACOPF is
 	// nonconvex; warm-starting anchors comparative studies in one basin.
 	Start *Solution
+	// Context, when non-nil, caches the compiled KKT pattern and LU
+	// symbolic analysis across solves of the same network topology (rating
+	// or load changes, warm starts): SCOPF tightening rounds and
+	// sensitivity re-solves reuse one Context so every solve after the
+	// first skips pattern compilation entirely. Not safe for concurrent
+	// use. See NewContext.
+	Context *Context
+	// ReferenceKKT selects the legacy per-iteration KKT assembly (COO
+	// build, CSC compression, full symbolic LU every iteration). Test-only:
+	// the differential harness pins the fixed-pattern path against it.
+	ReferenceKKT bool
 }
 
 // Solution is the paper's ACOPFSolution data model (Appendix C): every
@@ -88,11 +99,16 @@ func SolveACOPF(n *model.Network, opts Options) (*Solution, error) {
 		eval: prob.eval,
 		hess: prob.hessian,
 	}
-	res, ipmErr := solveIPM(p, ipmOptions{
+	iopts := ipmOptions{
 		FeasTol: opts.FeasTol, GradTol: opts.GradTol,
 		CompTol: opts.CompTol, CostTol: opts.CostTol,
-		MaxIter: opts.MaxIter,
-	})
+		MaxIter:   opts.MaxIter,
+		reference: opts.ReferenceKKT,
+	}
+	if opts.Context != nil && !opts.ReferenceKKT {
+		iopts.kkt = opts.Context.acquire(prob)
+	}
+	res, ipmErr := solveIPM(p, iopts)
 	sol := extractSolution(prob, res)
 	if ipmErr != nil {
 		return sol, fmt.Errorf("opf: %s: %w", n.Name, ipmErr)
@@ -229,8 +245,18 @@ func AssessQuality(n *model.Network, sol *Solution) Quality {
 	q.EconomicEfficiency = 10 * clamp01(1-lossFrac/0.1)
 	q.DetailedMetrics["loss_fraction"] = lossFrac
 
-	// Security: voltage headroom to the band edges.
-	headroom := math.Min(sol.MinVoltagePU-0.94, 1.06-sol.MaxVoltagePU)
+	// Security: voltage headroom to the band edges — each bus's own
+	// VMin/VMax, not a hardcoded nominal band, so cases with wider (or
+	// asymmetric) limits are scored against the limits that actually bind.
+	// (The constraint loop above already requires Vm aligned with Buses.)
+	headroom := math.Inf(1)
+	for i, b := range n.Buses {
+		vm := sol.Voltages.Vm[i]
+		headroom = math.Min(headroom, math.Min(vm-b.VMin, b.VMax-vm))
+	}
+	if math.IsInf(headroom, 1) {
+		headroom = 0
+	}
 	q.SystemSecurity = 10 * clamp01(0.5+headroom/0.04)
 	q.DetailedMetrics["voltage_headroom_pu"] = headroom
 

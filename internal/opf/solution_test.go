@@ -1,0 +1,67 @@
+package opf
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gridmind/internal/cases"
+	"gridmind/internal/powerflow"
+)
+
+// TestAssessQualityUsesBusVoltageBands is the regression test for the
+// hardcoded 0.94/1.06 security-headroom band: a case whose buses allow a
+// wider band must be scored against its own VMin/VMax, not the nominal
+// ones. The same 1.05 pu flat profile is near-limit under the default
+// case30 band (0.01 pu headroom to 1.06) but comfortably interior once
+// every bus allows [0.90, 1.10] (0.05 pu headroom).
+func TestAssessQualityUsesBusVoltageBands(t *testing.T) {
+	n := cases.MustLoad("case30")
+	mk := func() *Solution {
+		vm := make([]float64, len(n.Buses))
+		va := make([]float64, len(n.Buses))
+		for i := range vm {
+			vm[i] = 1.05
+		}
+		return &Solution{
+			Solved:        true,
+			Voltages:      powerflow.VoltageProfile{Vm: vm, Va: va},
+			MinVoltagePU:  1.05,
+			MaxVoltagePU:  1.05,
+			MaxMismatchPU: 1e-6,
+		}
+	}
+
+	tight := AssessQuality(n, mk())
+	if h := tight.DetailedMetrics["voltage_headroom_pu"]; math.Abs(h-0.01) > 1e-9 {
+		t.Fatalf("default-band headroom %v, want 0.01", h)
+	}
+
+	wide := n.Clone()
+	for i := range wide.Buses {
+		wide.Buses[i].VMin, wide.Buses[i].VMax = 0.90, 1.10
+	}
+	roomy := AssessQuality(wide, mk())
+	if h := roomy.DetailedMetrics["voltage_headroom_pu"]; math.Abs(h-0.05) > 1e-9 {
+		t.Fatalf("wide-band headroom %v, want 0.05 (per-bus limits not used)", h)
+	}
+	if roomy.SystemSecurity <= tight.SystemSecurity {
+		t.Fatalf("wider band must score safer: %v <= %v", roomy.SystemSecurity, tight.SystemSecurity)
+	}
+	for _, r := range roomy.Recommendations {
+		if strings.Contains(r, "reactive support") {
+			t.Fatalf("wide-band profile flagged as near-limit: %q", r)
+		}
+	}
+
+	// Asymmetric per-bus limits: the binding bus decides.
+	asym := n.Clone()
+	for i := range asym.Buses {
+		asym.Buses[i].VMin, asym.Buses[i].VMax = 0.90, 1.10
+	}
+	asym.Buses[3].VMax = 1.055 // 0.005 pu headroom at bus 3 only
+	pinched := AssessQuality(asym, mk())
+	if h := pinched.DetailedMetrics["voltage_headroom_pu"]; math.Abs(h-0.005) > 1e-9 {
+		t.Fatalf("asymmetric-band headroom %v, want 0.005 from the binding bus", h)
+	}
+}

@@ -35,10 +35,18 @@ type Options struct {
 	// MinRateFraction floors tightened ratings at this fraction of the
 	// original rating, protecting feasibility (default 0.3).
 	MinRateFraction float64
-	// OPF forwards solver tolerances.
+	// OPF forwards solver tolerances. If OPF.Context is nil, Solve installs
+	// a fresh reusable solver context so every ACOPF after the first —
+	// tightening rounds, backoff retries, the basin re-anchor — reuses the
+	// compiled KKT pattern and LU symbolic analysis (rating changes leave
+	// the problem structure untouched).
 	OPF opf.Options
 	// Screen enables linear contingency screening inside each round.
 	Screen bool
+	// Workers bounds the contingency-sweep worker pool inside each round
+	// (0 = one per CPU). Benchmarks pin it to 1 for machine-independent
+	// allocation counts.
+	Workers int
 }
 
 func (o *Options) fill() {
@@ -93,6 +101,12 @@ func Solve(n *model.Network, opts Options) (*Result, error) {
 	opts.fill()
 	if err := n.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.OPF.Context == nil {
+		// One solver context for the whole loop: every round's re-solve has
+		// the same topology (only ratings/start change), so the compiled
+		// KKT pattern and symbolic analysis carry through all of them.
+		opts.OPF.Context = opf.NewContext()
 	}
 
 	econ, err := opf.SolveACOPF(n, opts.OPF)
@@ -231,6 +245,7 @@ func postContingencyViolations(n *model.Network, sol *opf.Solution, opts Options
 	}
 	rs, err := contingency.Analyze(state, base, contingency.Options{
 		DCScreen: opts.Screen,
+		Workers:  opts.Workers,
 	})
 	if err != nil {
 		return 0, nil, err
@@ -308,6 +323,11 @@ type Comparison struct {
 // Compare runs both operating strategies on the same case.
 func Compare(n *model.Network, opts Options) (*Comparison, error) {
 	opts.fill()
+	if opts.OPF.Context == nil {
+		// Shared across the secure loop AND the economic baseline solves:
+		// all of them run on the same topology.
+		opts.OPF.Context = opf.NewContext()
+	}
 	sec, err := Solve(n, opts)
 	if err != nil {
 		return nil, err

@@ -98,6 +98,25 @@ func TestSCOPFDeterministic(t *testing.T) {
 	}
 }
 
+func TestSCOPFReusesKKTPattern(t *testing.T) {
+	// Every ACOPF in the SCOPF loop — the economic baseline, each
+	// tightening round's re-solve, the backoff retries — runs on the same
+	// topology, so one compiled KKT pattern must serve them all: the
+	// caller-supplied context records exactly one compilation.
+	n := cases.MustLoad("case57")
+	ctx := opf.NewContext()
+	res, err := Solve(n, Options{Screen: true, MaxRounds: 2, OPF: opf.Options{Context: ctx}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 1 {
+		t.Fatalf("rounds %d", res.Rounds)
+	}
+	if got := ctx.Compiles(); got != 1 {
+		t.Fatalf("SCOPF loop compiled %d KKT patterns, want 1 (re-solves must reuse the cached pattern)", got)
+	}
+}
+
 func TestSCOPFInvalidNetwork(t *testing.T) {
 	n := cases.MustLoad("case14")
 	n.BaseMVA = 0

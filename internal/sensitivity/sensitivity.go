@@ -44,6 +44,10 @@ func LoadImpacts(n *model.Network, base *opf.Solution, busIDs []int, deltaMW flo
 	if deltaMW == 0 {
 		return nil, errors.New("sensitivity: deltaMW must be nonzero")
 	}
+	// One solver context across all per-bus re-solves: adding a load leaves
+	// the network topology (and so the compiled KKT pattern + LU symbolic
+	// analysis) unchanged, so only the first re-solve compiles anything.
+	ctx := opf.NewContext()
 	out := make([]Impact, 0, len(busIDs))
 	for _, id := range busIDs {
 		bi := n.BusByID(id)
@@ -59,7 +63,7 @@ func LoadImpacts(n *model.Network, base *opf.Solution, busIDs []int, deltaMW flo
 		mod.Loads = append(mod.Loads, model.Load{
 			Bus: bi, P: deltaMW, Q: deltaMW * 0.2, InService: true,
 		})
-		sol, err := opf.SolveACOPF(mod, opf.Options{Start: base})
+		sol, err := opf.SolveACOPF(mod, opf.Options{Start: base, Context: ctx})
 		if err == nil && sol.Solved {
 			imp.Solved = true
 			imp.CostDelta = sol.ObjectiveCost - base.ObjectiveCost

@@ -173,6 +173,18 @@ func (m *CSC) At(i, j int) float64 {
 	return 0
 }
 
+// Has reports whether (i, j) is a structural entry of the pattern
+// (regardless of its stored value). O(log nnz(col j)).
+func (m *CSC) Has(i, j int) bool {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		return false
+	}
+	lo, hi := m.colPtr[j], m.colPtr[j+1]
+	idx := m.rowIdx[lo:hi]
+	k := sort.SearchInts(idx, i)
+	return k < len(idx) && idx[k] == i
+}
+
 // MulVec computes y = M·x.
 func (m *CSC) MulVec(x []float64) []float64 {
 	if len(x) != m.cols {

@@ -12,10 +12,11 @@ import (
 )
 
 // Numeric-core benchmarks tracked in BENCH_numeric.json: Ybus assembly,
-// a full Newton solve, the N-1 sweep, the interior-point ACOPF and the
-// SCOPF loop, each over the paper-scale cases. Regenerate the JSON with:
+// a full Newton solve, the N-1 branch and generation sweeps, the N-2
+// screening pipeline, the interior-point ACOPF and the SCOPF loop, each
+// over the paper-scale cases. Regenerate the JSON with:
 //
-//	go test -run '^$' -bench 'BuildYbus|NewtonSolve|N1Sweep|ACOPF|SCOPF' -benchmem .
+//	go test -run '^$' -bench 'BuildYbus|NewtonSolve|N1Sweep|GenSweep|N2Screen|ACOPF|SCOPF' -benchmem .
 
 func benchBuildYbus(b *testing.B, caseName string) {
 	n := cases.MustLoad(caseName)
@@ -69,6 +70,51 @@ func benchN1Sweep(b *testing.B, caseName string) {
 func BenchmarkN1SweepCase57(b *testing.B)      { benchN1Sweep(b, "case57") }
 func BenchmarkN1SweepCase118Full(b *testing.B) { benchN1Sweep(b, "case118") }
 func BenchmarkN1SweepCase300(b *testing.B)     { benchN1Sweep(b, "case300") }
+
+// BenchmarkGenSweepCase57 measures the N-1 generation sweep — since the
+// gen-outage fast path, a zero-clone workload that re-derives the PV/PQ
+// classification in place instead of materializing a network per unit.
+func BenchmarkGenSweepCase57(b *testing.B) {
+	n := cases.MustLoad("case57")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := contingency.AnalyzeGenOutages(n, contingency.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkN2ScreenCase57 measures the N-2 screening pipeline on the
+// seeded critical candidate set: pair seeding, LODF-composition DC
+// pre-screen and zero-clone AC verification. Workers pinned to 1 and the
+// candidate set capped so allocs/op are machine-independent (the CI guard
+// protocol); the N-1 seeding sweep runs outside the measured loop.
+func BenchmarkN2ScreenCase57(b *testing.B) {
+	n := cases.MustLoad("case57")
+	base, err := powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n1, err := contingency.Analyze(n, base, contingency.Options{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rs, err := contingency.AnalyzeN2(n, base, n1, contingency.N2Options{
+			Options:  contingency.Options{Workers: 1},
+			MaxPairs: 200,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs.Outages) == 0 {
+			b.Fatal("empty N-2 sweep")
+		}
+	}
+}
 
 func benchACOPF(b *testing.B, caseName string) {
 	n := cases.MustLoad(caseName)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"strings"
@@ -34,6 +35,18 @@ type guardSpec struct {
 	run  func(b *testing.B)
 }
 
+// guardRow is one measured-vs-baseline comparison, kept for the failure
+// table and the fresh-results artifact.
+type guardRow struct {
+	Name           string  `json:"name"`
+	BaselineNsOp   float64 `json:"baseline_ns_op"`
+	MeasuredNsOp   float64 `json:"measured_ns_op"`
+	BaselineAllocs float64 `json:"baseline_allocs_op"`
+	MeasuredAllocs float64 `json:"measured_allocs_op"`
+	MeasuredBOp    float64 `json:"measured_b_op"`
+	Failed         bool    `json:"failed"`
+}
+
 // runBenchGuard executes the guarded benchmarks in-process (minimum of
 // three testing.Benchmark runs each, to shed scheduler noise) and compares
 // them against the checked-in baseline:
@@ -45,16 +58,24 @@ type guardSpec struct {
 //     per-outage clone or per-iteration KKT rebuild even on faster
 //     hardware.
 //
+// Every run writes the fresh measurements to outPath (when non-empty) so
+// CI can archive them as an artifact, and any failure prints the full
+// before/after table instead of just naming the failing metric.
+//
 // Guarded workloads (all with Workers pinned to 1, matching the baseline
 // protocol: BENCH_numeric.json is regenerated with `go test -cpu 1`, and
 // per-worker context setup would otherwise scale allocs/op with the
 // runner's core count):
 //
-//   - the N-1 sweep on caseName (the PR 2 zero-clone path);
+//   - the N-1 branch sweep on caseName (the PR 2 zero-clone path);
+//   - the N-1 generation sweep on case57 (the in-place classification
+//     path — a reintroduced Materialize shows up in allocs/op);
+//   - the N-2 screening pipeline on case57 (pair seeding + LODF pair
+//     pre-screen + zero-clone AC verification, candidate set capped);
 //   - the interior-point ACOPF on case57 and case118 (the PR 3
 //     fixed-pattern KKT path);
 //   - the SCOPF tightening loop on case57 (ACOPF × N-1 × rounds).
-func runBenchGuard(baselinePath, caseName string, tol float64) error {
+func runBenchGuard(baselinePath, outPath, caseName string, tol float64) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
@@ -72,6 +93,15 @@ func runBenchGuard(baselinePath, caseName string, tol float64) error {
 	if err != nil {
 		return fmt.Errorf("base power flow: %w", err)
 	}
+	case57 := cases.MustLoad("case57")
+	base57, err := powerflow.Solve(case57, powerflow.Options{EnforceQLimits: true})
+	if err != nil {
+		return fmt.Errorf("case57 base power flow: %w", err)
+	}
+	n157, err := contingency.Analyze(case57, base57, contingency.Options{Workers: 1})
+	if err != nil {
+		return fmt.Errorf("case57 N-1 seed sweep: %w", err)
+	}
 
 	specs := []guardSpec{
 		{
@@ -81,6 +111,35 @@ func runBenchGuard(baselinePath, caseName string, tol float64) error {
 				for i := 0; i < b.N; i++ {
 					if _, err := contingency.Analyze(sweepCase, sweepBase, contingency.Options{Workers: 1}); err != nil {
 						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			name: "BenchmarkGenSweepCase57",
+			run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := contingency.AnalyzeGenOutages(case57, contingency.Options{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			name: "BenchmarkN2ScreenCase57",
+			run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					rs, err := contingency.AnalyzeN2(case57, base57, n157, contingency.N2Options{
+						Options:  contingency.Options{Workers: 1},
+						MaxPairs: 200,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(rs.Outages) == 0 {
+						b.Fatal("empty N-2 sweep")
 					}
 				}
 			},
@@ -103,6 +162,8 @@ func runBenchGuard(baselinePath, caseName string, tol float64) error {
 		},
 	}
 
+	rows := make([]guardRow, 0, len(specs))
+	var failures []string
 	for _, spec := range specs {
 		var refNs, refAllocs float64
 		found := false
@@ -117,30 +178,114 @@ func runBenchGuard(baselinePath, caseName string, tol float64) error {
 			return fmt.Errorf("no %s baseline in %s", spec.name, baselinePath)
 		}
 
-		bestNs, bestAllocs := -1.0, -1.0
+		bestNs, bestAllocs, bestBytes := -1.0, -1.0, -1.0
 		for rep := 0; rep < 3; rep++ {
 			r := testing.Benchmark(spec.run)
-			ns := float64(r.NsPerOp())
-			allocs := float64(r.AllocsPerOp())
-			if bestNs < 0 || ns < bestNs {
+			if ns := float64(r.NsPerOp()); bestNs < 0 || ns < bestNs {
 				bestNs = ns
 			}
-			if bestAllocs < 0 || allocs < bestAllocs {
+			if allocs := float64(r.AllocsPerOp()); bestAllocs < 0 || allocs < bestAllocs {
 				bestAllocs = allocs
+			}
+			if by := float64(r.AllocedBytesPerOp()); bestBytes < 0 || by < bestBytes {
+				bestBytes = by
 			}
 		}
 
+		row := guardRow{
+			Name:         spec.name,
+			BaselineNsOp: refNs, MeasuredNsOp: bestNs,
+			BaselineAllocs: refAllocs, MeasuredAllocs: bestAllocs,
+			MeasuredBOp: bestBytes,
+		}
 		fmt.Printf("benchguard %s: %.0f ns/op (baseline %.0f), %.0f allocs/op (baseline %.0f), tolerance %.0f%%\n",
 			spec.name, bestNs, refNs, bestAllocs, refAllocs, 100*tol)
 		if bestNs > refNs*(1+tol) {
-			return fmt.Errorf("%s ns/op regressed: %.0f > %.0f (+%.0f%% allowed)", spec.name, bestNs, refNs, 100*tol)
+			row.Failed = true
+			failures = append(failures, fmt.Sprintf("%s ns/op regressed: %.0f > %.0f (+%.0f%% allowed)", spec.name, bestNs, refNs, 100*tol))
 		}
 		if refAllocs > 0 && bestAllocs > refAllocs*(1+tol) {
-			return fmt.Errorf("%s allocs/op regressed: %.0f > %.0f (+%.0f%% allowed)", spec.name, bestAllocs, refAllocs, 100*tol)
+			row.Failed = true
+			failures = append(failures, fmt.Sprintf("%s allocs/op regressed: %.0f > %.0f (+%.0f%% allowed)", spec.name, bestAllocs, refAllocs, 100*tol))
 		}
+		rows = append(rows, row)
+	}
+
+	if outPath != "" {
+		if err := writeFreshBench(outPath, baselinePath, tol, rows); err != nil {
+			return fmt.Errorf("write fresh bench results: %w", err)
+		}
+		fmt.Printf("benchguard: fresh measurements written to %s\n", outPath)
+	}
+
+	if len(failures) > 0 {
+		printGuardTable(rows, tol)
+		return errors.New(strings.Join(failures, "; "))
 	}
 	fmt.Println("benchguard: OK")
 	return nil
+}
+
+// printGuardTable renders the full before/after comparison so a failing CI
+// run shows every guarded metric in context, not just the one that
+// tripped.
+func printGuardTable(rows []guardRow, tol float64) {
+	pct := func(meas, ref float64) string {
+		if ref <= 0 {
+			return "   n/a"
+		}
+		return fmt.Sprintf("%+5.1f%%", 100*(meas-ref)/ref)
+	}
+	fmt.Printf("\nbenchguard comparison (tolerance +%.0f%%):\n", 100*tol)
+	fmt.Printf("%-28s %14s %14s %7s %12s %12s %7s  %s\n",
+		"benchmark", "base ns/op", "meas ns/op", "Δ", "base allocs", "meas allocs", "Δ", "verdict")
+	for _, r := range rows {
+		verdict := "ok"
+		if r.Failed {
+			verdict = "FAIL"
+		}
+		fmt.Printf("%-28s %14.0f %14.0f %7s %12.0f %12.0f %7s  %s\n",
+			r.Name, r.BaselineNsOp, r.MeasuredNsOp, pct(r.MeasuredNsOp, r.BaselineNsOp),
+			r.BaselineAllocs, r.MeasuredAllocs, pct(r.MeasuredAllocs, r.BaselineAllocs), verdict)
+	}
+}
+
+// writeFreshBench dumps the run's measurements in a BENCH_numeric.json-like
+// shape for the CI artifact.
+func writeFreshBench(path, baselinePath string, tol float64, rows []guardRow) error {
+	type freshEntry struct {
+		Name  string `json:"name"`
+		After struct {
+			NsOp     float64 `json:"ns_op"`
+			BOp      float64 `json:"b_op"`
+			AllocsOp float64 `json:"allocs_op"`
+		} `json:"after"`
+		BaselineNsOp   float64 `json:"baseline_ns_op"`
+		BaselineAllocs float64 `json:"baseline_allocs_op"`
+		Failed         bool    `json:"failed"`
+	}
+	out := struct {
+		Description string       `json:"description"`
+		Baseline    string       `json:"baseline"`
+		Tolerance   float64      `json:"tolerance"`
+		Benchmarks  []freshEntry `json:"benchmarks"`
+	}{
+		Description: "benchguard fresh measurements (best of 3 in-process runs, Workers pinned to 1)",
+		Baseline:    baselinePath,
+		Tolerance:   tol,
+	}
+	for _, r := range rows {
+		e := freshEntry{Name: r.Name, BaselineNsOp: r.BaselineNsOp, BaselineAllocs: r.BaselineAllocs, Failed: r.Failed}
+		e.After.NsOp = r.MeasuredNsOp
+		e.After.BOp = r.MeasuredBOp
+		e.After.AllocsOp = r.MeasuredAllocs
+		out.Benchmarks = append(out.Benchmarks, e)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // benchGuardACOPF closes over a pre-loaded network so case parsing stays

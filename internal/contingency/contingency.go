@@ -35,7 +35,10 @@ type VoltageViolation struct {
 }
 
 // OutageResult is the paper's per-contingency record: every cited metric
-// in a CA narrative maps to a field here.
+// in a CA narrative maps to a field here. N-2 records produced by
+// AnalyzeN2 reuse it — Branch identifies the first element and the IsPair
+// block the second — so the ranking, summary and recommendation layers
+// work on single and double outages alike.
 type OutageResult struct {
 	Branch    int  `json:"branch"`
 	FromBusID int  `json:"from_bus"`
@@ -43,6 +46,16 @@ type OutageResult struct {
 	IsXfmr    bool `json:"is_transformer"`
 	Converged bool `json:"converged"`
 	Islanded  bool `json:"islanded"`
+	// IsPair marks an N-2 record; the fields below identify the second
+	// outaged element and are meaningless otherwise. Branch2 is the second
+	// branch (−1 for mixed branch+generator pairs, where Gen2/Gen2BusID
+	// name the lost unit instead; Gen2 is −1 for pure branch pairs).
+	IsPair     bool `json:"is_pair,omitempty"`
+	Branch2    int  `json:"branch2,omitempty"`
+	From2BusID int  `json:"from2_bus,omitempty"`
+	To2BusID   int  `json:"to2_bus,omitempty"`
+	Gen2       int  `json:"gen2,omitempty"`
+	Gen2BusID  int  `json:"gen2_bus,omitempty"`
 	// MaxLoadingPct is the worst post-contingency branch loading.
 	MaxLoadingPct float64            `json:"max_loading_pct"`
 	Overloads     []BranchLoading    `json:"overloads,omitempty"`
@@ -62,6 +75,26 @@ func (o *OutageResult) Describe() string {
 	kind := "line"
 	if o.IsXfmr {
 		kind = "transformer"
+	}
+	if o.IsPair {
+		second := fmt.Sprintf("line %d-%d", o.From2BusID, o.To2BusID)
+		if o.Branch2 < 0 {
+			second = fmt.Sprintf("unit at bus %d", o.Gen2BusID)
+		}
+		switch {
+		case o.Islanded:
+			return fmt.Sprintf("double outage %s %d-%d + %s islands the system, shedding %.1f MW",
+				kind, o.FromBusID, o.ToBusID, second, o.LoadShedMW)
+		case !o.Converged:
+			return fmt.Sprintf("double outage %s %d-%d + %s: power flow collapse, est. %.1f MW shed to restore solvability",
+				kind, o.FromBusID, o.ToBusID, second, o.LoadShedMW)
+		case len(o.Overloads) > 0:
+			return fmt.Sprintf("double outage %s %d-%d + %s causes %d overload(s), worst %.0f%%, min voltage %.3f p.u.",
+				kind, o.FromBusID, o.ToBusID, second, len(o.Overloads), o.MaxLoadingPct, o.MinVoltagePU)
+		default:
+			return fmt.Sprintf("double outage %s %d-%d + %s is secure (max loading %.0f%%, min voltage %.3f p.u.)",
+				kind, o.FromBusID, o.ToBusID, second, o.MaxLoadingPct, o.MinVoltagePU)
+		}
 	}
 	switch {
 	case o.Islanded:
@@ -319,7 +352,7 @@ func analyzeOneClone(n *model.Network, base *powerflow.Result, k int, opts Optio
 		out.Severity = severity(out, opts)
 		return out
 	}
-	scoreOutage(out, res, post, k, opts)
+	scoreOutage(out, res, post, k, -1, opts)
 	return out
 }
 
@@ -327,14 +360,15 @@ func analyzeOneClone(n *model.Network, base *powerflow.Result, k int, opts Optio
 // and voltage-violation lists, severity — from a converged power flow.
 // The clone-reference and view paths share it, so the scoring rules
 // cannot silently diverge between them. n supplies bus IDs and branch
-// endpoints; k is the outaged branch (zero flow by construction, skipped).
-func scoreOutage(out *OutageResult, res *powerflow.Result, n *model.Network, k int, opts Options) {
+// endpoints; k and k2 are the outaged branches (zero flow by construction,
+// skipped); k2 is −1 for single outages.
+func scoreOutage(out *OutageResult, res *powerflow.Result, n *model.Network, k, k2 int, opts Options) {
 	out.Converged = true
 	out.Algorithm = res.Algorithm.String()
 	out.MinVoltagePU = res.MinVm
 	for bk, f := range res.Flows {
-		if bk == k {
-			continue // the outaged branch carries nothing
+		if bk == k || bk == k2 {
+			continue // the outaged branches carry nothing
 		}
 		if f.LoadingPct > out.MaxLoadingPct {
 			out.MaxLoadingPct = f.LoadingPct

@@ -44,29 +44,18 @@ func (g *GenOutageResult) Describe() string {
 	}
 }
 
-// AnalyzeGenOutage simulates the loss of generator g: its dispatch is
-// redistributed to the remaining units in proportion to spare capacity
-// (governor-style pickup), then the power flow is re-solved and screened.
-func AnalyzeGenOutage(n *model.Network, g int, opts Options) (*GenOutageResult, error) {
-	opts.fill()
+// prepareGenOutage validates the loss of generator g, applies it to the
+// view (status mask + governor-pickup redispatch over the remaining
+// fleet's headroom) and returns the lost dispatch and any reserve deficit.
+// The view is NOT reset first: mixed N-2 pairs stack a branch outage on
+// the same view.
+func prepareGenOutage(n *model.Network, view *model.OutageView, g int) (lostMW, deficitMW float64, err error) {
 	if g < 0 || g >= len(n.Gens) {
-		return nil, fmt.Errorf("contingency: generator %d out of range", g)
+		return 0, 0, fmt.Errorf("contingency: generator %d out of range", g)
 	}
 	if !n.Gens[g].InService {
-		return nil, fmt.Errorf("contingency: generator %d is already out of service", g)
+		return 0, 0, fmt.Errorf("contingency: generator %d is already out of service", g)
 	}
-	out := &GenOutageResult{
-		Gen:    g,
-		BusID:  n.Buses[n.Gens[g].Bus].ID,
-		LostMW: n.Gens[g].P,
-	}
-	// The outage touches only generation, so an OutageView carries it as a
-	// status mask plus redispatch overrides; Materialize below copies the
-	// generator slice and shares everything else with the base instead of
-	// deep-cloning the network.
-	view := model.NewOutageView(n)
-	view.OutGen(g)
-
 	// A slack-bus unit outage would leave no angle reference if it is the
 	// only machine there; reject islanded references early.
 	slack := n.SlackBus()
@@ -77,11 +66,12 @@ func AnalyzeGenOutage(n *model.Network, g int, opts Options) (*GenOutageResult, 
 		}
 	}
 	if n.Gens[g].Bus == slack && !hasRef {
-		return nil, fmt.Errorf("contingency: generator %d is the only slack machine; its loss has no steady state", g)
+		return 0, 0, fmt.Errorf("contingency: generator %d is the only slack machine; its loss has no steady state", g)
 	}
+	view.OutGen(g)
 
-	// Governor pickup: spread the lost MW over remaining units'
-	// headroom.
+	lostMW = n.Gens[g].P
+	// Governor pickup: spread the lost MW over remaining units' headroom.
 	var headroom float64
 	for gi, gen := range n.Gens {
 		if gi == g || !gen.InService {
@@ -91,10 +81,10 @@ func AnalyzeGenOutage(n *model.Network, g int, opts Options) (*GenOutageResult, 
 			headroom += h
 		}
 	}
-	if headroom < out.LostMW {
-		out.ReserveDeficitMW = out.LostMW - headroom
+	if headroom < lostMW {
+		deficitMW = lostMW - headroom
 	}
-	pickup := out.LostMW
+	pickup := lostMW
 	if pickup > headroom {
 		pickup = headroom
 	}
@@ -108,6 +98,129 @@ func AnalyzeGenOutage(n *model.Network, g int, opts Options) (*GenOutageResult, 
 			}
 		}
 	}
+	return lostMW, deficitMW, nil
+}
+
+// scoreGenOutage fills out's post-solve fields from a converged power
+// flow. n supplies bus IDs and branch endpoints (shared between the base
+// network and any materialized view, so both paths read identical data).
+func scoreGenOutage(out *GenOutageResult, res *powerflow.Result, n *model.Network, opts Options) {
+	out.Converged = true
+	out.MinVoltagePU = res.MinVm
+	for bk, f := range res.Flows {
+		if f.LoadingPct > out.MaxLoadingPct {
+			out.MaxLoadingPct = f.LoadingPct
+		}
+		if f.LoadingPct > opts.OverloadPct {
+			bb := n.Branches[bk]
+			out.Overloads = append(out.Overloads, BranchLoading{
+				Branch:     bk,
+				FromBusID:  n.Buses[bb.From].ID,
+				ToBusID:    n.Buses[bb.To].ID,
+				LoadingPct: f.LoadingPct,
+			})
+		}
+	}
+	sort.Slice(out.Overloads, func(a, b int) bool {
+		return out.Overloads[a].LoadingPct > out.Overloads[b].LoadingPct
+	})
+	for i := range n.Buses {
+		vm := res.Voltages.Vm[i]
+		if vm < opts.VoltLow {
+			out.VoltViols = append(out.VoltViols, VoltageViolation{
+				BusID: n.Buses[i].ID, VmPU: vm, Limit: opts.VoltLow, Low: true,
+			})
+		} else if vm > opts.VoltHigh {
+			out.VoltViols = append(out.VoltViols, VoltageViolation{
+				BusID: n.Buses[i].ID, VmPU: vm, Limit: opts.VoltHigh, Low: false,
+			})
+		}
+	}
+	// Severity shares the branch-outage scale, plus the reserve deficit.
+	proxy := &OutageResult{Converged: true, Overloads: out.Overloads, VoltViols: out.VoltViols}
+	out.Severity = severity(proxy, opts) + out.ReserveDeficitMW
+}
+
+// genSweepContext is the zero-clone generator-outage analysis state: one
+// reusable view over the shared base plus one ViewSolver whose patched
+// Ybus, compiled Jacobian and LU symbolic analysis persist across units.
+// Since the solver re-derives the PV/PQ classification from the view in
+// place, a generator sweep materializes nothing on the happy path.
+type genSweepContext struct {
+	n      *model.Network
+	view   *model.OutageView
+	solver *powerflow.ViewSolver // nil when the base fails to classify
+}
+
+func newGenSweepContext(n *model.Network) *genSweepContext {
+	ctx := &genSweepContext{n: n, view: model.NewOutageView(n)}
+	ctx.solver, _ = powerflow.NewViewSolver(n, nil)
+	return ctx
+}
+
+// analyzeGen simulates the loss of generator g on the view path, matching
+// analyzeGenOutageMaterialize result-for-result (the differential harness
+// enforces this to 1e-9).
+func (c *genSweepContext) analyzeGen(g int, opts Options) (*GenOutageResult, error) {
+	if c.solver == nil {
+		return analyzeGenOutageMaterialize(c.n, g, opts)
+	}
+	c.view.Reset()
+	lost, deficit, err := prepareGenOutage(c.n, c.view, g)
+	if err != nil {
+		return nil, err
+	}
+	out := &GenOutageResult{
+		Gen:              g,
+		BusID:            c.n.Buses[c.n.Gens[g].Bus].ID,
+		LostMW:           lost,
+		ReserveDeficitMW: deficit,
+	}
+	res, err := c.solver.Solve(c.view, powerflow.Options{EnforceQLimits: true})
+	if err != nil || !res.Converged {
+		res, err = powerflow.Solve(c.view.Materialize(), powerflow.Options{Algorithm: powerflow.FastDecoupled})
+	}
+	if err != nil || !res.Converged {
+		out.Converged = false
+		out.Severity = out.LostMW + out.ReserveDeficitMW + 50
+		return out, nil
+	}
+	scoreGenOutage(out, res, c.n, opts)
+	return out, nil
+}
+
+// AnalyzeGenOutage simulates the loss of generator g: its dispatch is
+// redistributed to the remaining units in proportion to spare capacity
+// (governor-style pickup), then the power flow is re-solved and screened.
+// One-shot calls build a fresh view context; sweeps amortize theirs via
+// AnalyzeGenOutages. With opts.ReferenceClone it runs the legacy
+// materialize-and-solve path instead (the differential-test reference).
+func AnalyzeGenOutage(n *model.Network, g int, opts Options) (*GenOutageResult, error) {
+	opts.fill()
+	if opts.ReferenceClone {
+		return analyzeGenOutageMaterialize(n, g, opts)
+	}
+	return newGenSweepContext(n).analyzeGen(g, opts)
+}
+
+// analyzeGenOutageMaterialize is the legacy implementation — view
+// materialized into a network, solved through the general-purpose solver —
+// kept as the reference the differential harness pins the in-place
+// classification path against.
+func analyzeGenOutageMaterialize(n *model.Network, g int, opts Options) (*GenOutageResult, error) {
+	view := model.NewOutageView(n)
+	lost, deficit, err := prepareGenOutage(n, view, g)
+	if err != nil {
+		return nil, err
+	}
+	out := &GenOutageResult{
+		Gen:              g,
+		BusID:            n.Buses[n.Gens[g].Bus].ID,
+		LostMW:           lost,
+		ReserveDeficitMW: deficit,
+	}
+	// The outage touches only generation, so Materialize copies the
+	// generator slice and shares everything else with the base.
 	post := view.Materialize()
 
 	res, err := powerflow.Solve(post, powerflow.Options{EnforceQLimits: true})
@@ -119,53 +232,33 @@ func AnalyzeGenOutage(n *model.Network, g int, opts Options) (*GenOutageResult, 
 		out.Severity = out.LostMW + out.ReserveDeficitMW + 50
 		return out, nil
 	}
-	out.Converged = true
-	out.MinVoltagePU = res.MinVm
-	for bk, f := range res.Flows {
-		if f.LoadingPct > out.MaxLoadingPct {
-			out.MaxLoadingPct = f.LoadingPct
-		}
-		if f.LoadingPct > opts.OverloadPct {
-			bb := post.Branches[bk]
-			out.Overloads = append(out.Overloads, BranchLoading{
-				Branch:     bk,
-				FromBusID:  post.Buses[bb.From].ID,
-				ToBusID:    post.Buses[bb.To].ID,
-				LoadingPct: f.LoadingPct,
-			})
-		}
-	}
-	sort.Slice(out.Overloads, func(a, b int) bool {
-		return out.Overloads[a].LoadingPct > out.Overloads[b].LoadingPct
-	})
-	for i := range post.Buses {
-		vm := res.Voltages.Vm[i]
-		if vm < opts.VoltLow {
-			out.VoltViols = append(out.VoltViols, VoltageViolation{
-				BusID: post.Buses[i].ID, VmPU: vm, Limit: opts.VoltLow, Low: true,
-			})
-		} else if vm > opts.VoltHigh {
-			out.VoltViols = append(out.VoltViols, VoltageViolation{
-				BusID: post.Buses[i].ID, VmPU: vm, Limit: opts.VoltHigh, Low: false,
-			})
-		}
-	}
-	// Severity shares the branch-outage scale, plus the reserve deficit.
-	proxy := &OutageResult{Converged: true, Overloads: out.Overloads, VoltViols: out.VoltViols}
-	out.Severity = severity(proxy, opts) + out.ReserveDeficitMW
+	scoreGenOutage(out, res, post, opts)
 	return out, nil
 }
 
 // AnalyzeGenOutages sweeps every in-service generator (the "N-1 on
 // generation assets" companion of the branch sweep), returning results in
-// generator order.
+// generator order. The whole sweep shares one zero-clone solve context, so
+// no network is cloned or materialized on the happy path.
 func AnalyzeGenOutages(n *model.Network, opts Options) ([]GenOutageResult, error) {
+	opts.fill()
+	// Lazily built: reference-mode sweeps never pay for the solver context.
+	var ctx *genSweepContext
 	var out []GenOutageResult
 	for g, gen := range n.Gens {
 		if !gen.InService {
 			continue
 		}
-		r, err := AnalyzeGenOutage(n, g, opts)
+		var r *GenOutageResult
+		var err error
+		if opts.ReferenceClone {
+			r, err = analyzeGenOutageMaterialize(n, g, opts)
+		} else {
+			if ctx == nil {
+				ctx = newGenSweepContext(n)
+			}
+			r, err = ctx.analyzeGen(g, opts)
+		}
 		if err != nil {
 			// The irreplaceable slack machine is skipped, not fatal.
 			continue

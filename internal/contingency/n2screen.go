@@ -1,0 +1,105 @@
+package contingency
+
+import (
+	"math"
+
+	"gridmind/internal/model"
+	"gridmind/internal/powerflow"
+)
+
+// pairScreener is the N-2 DC pre-screen: the two-stage linear screen of
+// screen.go lifted to double outages. Thermal predictions come from the
+// lazy-LODF pair composition (ptdf.Matrix.PairOutageFlows — the rank-2
+// Woodbury identity over memoized columns, islanding sentinels included);
+// the 1Q voltage stage solves the pair's rank-≤4 Woodbury update of the
+// factorized B” through one SolveBlockInto batch (qvSolveMulti). A pair
+// passing both stages with margin is certified secure without an AC solve;
+// everything else — mixed branch+generator pairs included — falls through
+// to exact zero-clone verification.
+type pairScreener struct {
+	*screener
+}
+
+// pairInteractionTrust is the minimum |det(I − L_MM)| for the linear pair
+// screen to trust itself: a small determinant means the two branches
+// back each other up so strongly that the post-pair flow redistribution is
+// a large multiple of either single-outage picture, where the reactive
+// side of the linearization degrades. Such pairs go to the AC path.
+const pairInteractionTrust = 0.25
+
+func newPairScreener(n *model.Network, base *powerflow.Result, opts Options) (*pairScreener, error) {
+	s, err := newScreener(n, base, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &pairScreener{s}, nil
+}
+
+// trySecurePair returns a screened-secure pair record when both linear
+// stages say the double outage cannot approach any limit; ok=false sends
+// the pair to AC verification. The conservatism contract of the N-1 screen
+// carries over: every trust gate rejects toward the exact path.
+func (s *pairScreener) trySecurePair(n *model.Network, p N2Pair, opts Options) (*OutageResult, bool) {
+	if p.Gen >= 0 || !s.baseSecure {
+		// Mixed pairs change injections, which the LODF composition does
+		// not model; they are always AC-verified.
+		return nil, false
+	}
+	a, b := p.BranchA, p.BranchB
+	det, err := s.factors.PairInteraction(a, b)
+	if err != nil || math.Abs(det) < pairInteractionTrust {
+		return nil, false // joint cutset or strongly coupled pair
+	}
+	flows, err := s.factors.PairOutageFlows(s.preP, a, b)
+	if err != nil {
+		return nil, false
+	}
+	// 1Q stage first: the linearized voltage solution also prices the
+	// reactive redistribution the thermal stage needs.
+	dv, ok := s.qvSolveMulti(n, []int{a, b}, flows)
+	if !ok {
+		return nil, false
+	}
+	// Thermal stage: active flows from the pair LODF composition; reactive
+	// flows shifted by the branch Q-flow change the voltage solution
+	// implies, worse-of-{carried-over, shifted} per branch, with the
+	// unaffected allowance — the same rule as the N-1 screen over the
+	// composed flows.
+	var worst float64
+	for bk, br := range n.Branches {
+		if !br.InService || br.RateMVA <= 0 || bk == a || bk == b {
+			continue
+		}
+		var dvf, dvt float64
+		if pos := s.pqPos[br.From]; pos >= 0 {
+			dvf = dv[pos]
+		}
+		if pos := s.pqPos[br.To]; pos >= 0 {
+			dvt = dv[pos]
+		}
+		bser := br.X / (br.R*br.R + br.X*br.X)
+		shifted := s.preQ[bk] + bser*(dvf-dvt)*n.BaseMVA
+		q := math.Max(math.Abs(s.preQ[bk]), math.Abs(shifted))
+		pct := 100 * math.Hypot(flows[bk], q) / br.RateMVA
+		if pct > worst {
+			worst = pct
+		}
+		if pct >= opts.ScreenThreshold && pct > s.basePct[bk]+loadingAllowancePct {
+			return nil, false
+		}
+	}
+	// Voltage stage: the estimated post-pair extremes must clear both
+	// thresholds with margin.
+	estMin, estMax, ok := s.boundsFromDV(n, dv)
+	if !ok || estMin < opts.VoltLow+voltScreenMarginPU || estMax > opts.VoltHigh-voltScreenMarginPU {
+		return nil, false
+	}
+
+	out := newPairResult(n, p)
+	out.Converged = true
+	out.MaxLoadingPct = worst
+	out.MinVoltagePU = estMin
+	out.Algorithm = screenedAlgorithm
+	out.Severity = severity(out, opts)
+	return out, true
+}

@@ -60,7 +60,15 @@ func (rs *ResultSet) Rank(strategy Strategy) []int {
 				return a.MaxLoadingPct > b.MaxLoadingPct
 			}
 		}
-		return a.Branch < b.Branch
+		if a.Branch != b.Branch {
+			return a.Branch < b.Branch
+		}
+		// N-2 sets need the second element for determinism (every N-1
+		// record carries equal zero values here).
+		if a.Branch2 != b.Branch2 {
+			return a.Branch2 < b.Branch2
+		}
+		return a.Gen2 < b.Gen2
 	}
 	sort.Slice(idx, func(i, j int) bool {
 		return less(&rs.Outages[idx[i]], &rs.Outages[idx[j]])

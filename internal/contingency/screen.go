@@ -224,54 +224,100 @@ func (s *screener) trySecure(n *model.Network, k int, opts Options) (*OutageResu
 	return out, true
 }
 
-// qvSolve solves the fast-decoupled Q-V equation with branch k removed
-// via a Woodbury update of the factorized base B”, computing the
-// linearized post-outage voltage change of every PQ bus (the 1Q stage).
-// flows are the LODF-predicted post-outage MW flows (computed internally
-// when nil); they feed the reactive-loss term of the forcing. It returns
-// ok=false when the estimate cannot be trusted — a weakly-fed endpoint,
-// numerical trouble, or a regulated bus whose generators would be pushed
-// near a reactive limit by the outage — which routes the outage to the
-// full AC path.
+// qvSolve solves the fast-decoupled Q-V equation with branch k removed —
+// the single-outage entry point of qvSolveMulti.
 func (s *screener) qvSolve(n *model.Network, k int, flows []float64) ([]float64, bool) {
-	if s.luBpp == nil || len(s.pqBus) == 0 {
+	return s.qvSolveMulti(n, []int{k}, flows)
+}
+
+// qvSolveMulti solves the fast-decoupled Q-V equation with the branches in
+// ks removed via a Woodbury update of the factorized base B”, computing
+// the linearized post-outage voltage change of every PQ bus (the 1Q
+// stage). One branch is the N-1 screen; two branches is the N-2
+// pre-screen, whose update couples up to four PQ endpoint columns — all
+// batched through ONE SolveBlockInto multi-RHS triangular pass. flows are
+// the LODF-predicted post-outage MW flows (computed internally when nil);
+// they feed the reactive-loss term of the forcing. It returns ok=false
+// when the estimate cannot be trusted — a weakly-fed endpoint, numerical
+// trouble, or a regulated bus whose generators would be pushed near a
+// reactive limit — which routes the outage to the full AC path.
+func (s *screener) qvSolveMulti(n *model.Network, ks []int, flows []float64) ([]float64, bool) {
+	if s.luBpp == nil || len(s.pqBus) == 0 || len(ks) == 0 || len(ks) > 2 {
 		return nil, false
 	}
-	br := n.Branches[k]
-	f, t := s.pqPos[br.From], s.pqPos[br.To]
+	outaged := func(b int) bool {
+		for _, k := range ks {
+			if b == k {
+				return true
+			}
+		}
+		return false
+	}
 
 	// Weak-feed distrust: a PQ endpoint that loses most of its susceptance
-	// with the branch turns sharply nonlinear.
-	if f >= 0 && -imag(s.y.Yff[k]) > weakFeedShare*(-imag(s.y.Diag(br.From))) {
-		return nil, false
+	// with the removed branches turns sharply nonlinear. The lost share
+	// accumulates over ks before the comparison, so a pair that jointly
+	// strips one bus (say two 45% feeds) is gated even when each branch
+	// alone would pass.
+	var wfBus [4]int
+	var wfLost [4]float64
+	nwf := 0
+	wfAdd := func(bus int, lost float64) {
+		if s.pqPos[bus] < 0 {
+			return
+		}
+		for i := 0; i < nwf; i++ {
+			if wfBus[i] == bus {
+				wfLost[i] += lost
+				return
+			}
+		}
+		wfBus[nwf], wfLost[nwf] = bus, lost
+		nwf++
 	}
-	if t >= 0 && -imag(s.y.Ytt[k]) > weakFeedShare*(-imag(s.y.Diag(br.To))) {
-		return nil, false
+	for _, k := range ks {
+		br := n.Branches[k]
+		wfAdd(br.From, -imag(s.y.Yff[k]))
+		wfAdd(br.To, -imag(s.y.Ytt[k]))
 	}
-
-	if flows == nil {
-		var err error
-		if flows, err = s.factors.PostOutageFlows(s.preP, k); err != nil {
+	for i := 0; i < nwf; i++ {
+		if wfLost[i] > weakFeedShare*(-imag(s.y.Diag(wfBus[i]))) {
 			return nil, false
 		}
 	}
 
-	// ΔQ: removing the branch frees the reactive power it absorbed at
-	// each (PQ) endpoint; the mismatch pushes the Q-V equation. The
-	// screener runs from concurrent sweep workers, so the scratch buffers
-	// are per call; SolveInto keeps it to one rhs + one workspace.
+	if flows == nil {
+		var err error
+		if len(ks) == 1 {
+			flows, err = s.factors.PostOutageFlows(s.preP, ks[0])
+		} else {
+			flows, err = s.factors.PairOutageFlows(s.preP, ks[0], ks[1])
+		}
+		if err != nil {
+			return nil, false
+		}
+	}
+
+	// ΔQ: removing a branch frees the reactive power it absorbed at each
+	// (PQ) endpoint; the mismatch pushes the Q-V equation. The screener
+	// runs from concurrent sweep workers, so the scratch buffers are per
+	// call; SolveInto keeps it to one rhs + one workspace.
 	npq := len(s.pqBus)
 	dq := make([]float64, npq)
 	work := make([]float64, npq)
 	// Sign: preQ is the MVAr a bus sends INTO the branch; with the branch
 	// gone that power is surplus at the bus, so the mismatch driving the
 	// Q-V equation is +preQ (a bus that was fed through the branch has
-	// preQ < 0 and correctly sags).
-	if f >= 0 {
-		dq[f] = s.preQ[k] / n.BaseMVA / math.Max(s.baseVm[br.From], 0.5)
-	}
-	if t >= 0 {
-		dq[t] = s.preQTo[k] / n.BaseMVA / math.Max(s.baseVm[br.To], 0.5)
+	// preQ < 0 and correctly sags). A shared endpoint accumulates both
+	// branches' terms.
+	for _, k := range ks {
+		br := n.Branches[k]
+		if f := s.pqPos[br.From]; f >= 0 {
+			dq[f] += s.preQ[k] / n.BaseMVA / math.Max(s.baseVm[br.From], 0.5)
+		}
+		if t := s.pqPos[br.To]; t >= 0 {
+			dq[t] += s.preQTo[k] / n.BaseMVA / math.Max(s.baseVm[br.To], 0.5)
+		}
 	}
 
 	// Rerouted active power raises series reactive losses (ΔQ ≈ X·ΔI²)
@@ -281,7 +327,7 @@ func (s *screener) qvSolve(n *model.Network, k int, flows []float64) ([]float64,
 	// regulated terminals burden their generators (checked below).
 	lossReg := map[int]float64(nil)
 	for b, bb := range n.Branches {
-		if !bb.InService || b == k || bb.X == 0 {
+		if !bb.InService || bb.X == 0 || outaged(b) {
 			continue
 		}
 		dql := bb.X * (flows[b]*flows[b] - s.preP[b]*s.preP[b]) / (n.BaseMVA * n.BaseMVA)
@@ -307,31 +353,50 @@ func (s *screener) qvSolve(n *model.Network, k int, flows []float64) ([]float64,
 	}
 
 	// Woodbury correction for B''_post = B'' − U·S·Uᵀ where S holds the
-	// removed branch's contributions at the PQ endpoints.
-	cols := make([]int, 0, 2)
-	if f >= 0 {
-		cols = append(cols, f)
+	// removed branches' contributions at the (deduplicated) PQ endpoint
+	// columns — rank ≤ 2 per branch, rank ≤ 4 for a pair.
+	cols := make([]int, 0, 4)
+	addCol := func(p int) {
+		if p < 0 {
+			return
+		}
+		for _, c := range cols {
+			if c == p {
+				return
+			}
+		}
+		cols = append(cols, p)
 	}
-	if t >= 0 {
-		cols = append(cols, t)
+	for _, k := range ks {
+		br := n.Branches[k]
+		addCol(s.pqPos[br.From])
+		addCol(s.pqPos[br.To])
 	}
 	dv := x0
 	if len(cols) > 0 {
-		// S entries: ΔB''[a][b] = −Im(removed Y block).
+		// S entries: ΔB''[a][b] = −Im(removed Y blocks), accumulated over
+		// the removed branches (a pair sharing an endpoint stacks its
+		// contributions there).
 		entry := func(a, b int) float64 {
-			switch {
-			case a == f && b == f:
-				return -imag(s.y.Yff[k])
-			case a == f && b == t:
-				return -imag(s.y.Yft[k])
-			case a == t && b == f:
-				return -imag(s.y.Ytf[k])
-			default:
-				return -imag(s.y.Ytt[k])
+			var v float64
+			for _, k := range ks {
+				br := n.Branches[k]
+				f, t := s.pqPos[br.From], s.pqPos[br.To]
+				switch {
+				case a == f && b == f:
+					v += -imag(s.y.Yff[k])
+				case a == f && b == t:
+					v += -imag(s.y.Yft[k])
+				case a == t && b == f:
+					v += -imag(s.y.Ytf[k])
+				case a == t && b == t:
+					v += -imag(s.y.Ytt[k])
+				}
 			}
+			return v
 		}
 		m := len(cols)
-		// Solve B''·u_j = e_cols[j], both columns batched through one
+		// Solve B''·u_j = e_cols[j], all columns batched through one
 		// multi-RHS triangular pass.
 		ub := make([]float64, npq*m)
 		bwork := make([]float64, npq*m)
@@ -345,29 +410,29 @@ func (s *screener) qvSolve(n *model.Network, k int, flows []float64) ([]float64,
 		for j := range us {
 			us[j] = ub[j*npq : (j+1)*npq]
 		}
-		// Capacitance C = S⁻¹ − Uᵀ B''⁻¹ U (m×m, m ≤ 2).
-		var sMat [2][2]float64
+		// Capacitance C = S⁻¹ − Uᵀ B''⁻¹ U (m×m, m ≤ 4).
+		var sMat [4][4]float64
 		for a := 0; a < m; a++ {
 			for b := 0; b < m; b++ {
 				sMat[a][b] = entry(cols[a], cols[b])
 			}
 		}
-		sInv, ok := inv2(sMat, m)
+		sInv, ok := invSmall(sMat, m)
 		if !ok {
 			return nil, false
 		}
-		var c [2][2]float64
+		var c [4][4]float64
 		for a := 0; a < m; a++ {
 			for b := 0; b < m; b++ {
 				c[a][b] = sInv[a][b] - us[b][cols[a]]
 			}
 		}
-		cInv, ok := inv2(c, m)
+		cInv, ok := invSmall(c, m)
 		if !ok {
 			return nil, false // singular: outage is radial in the Q network
 		}
 		// dv = x0 + U_sol · C⁻¹ · (Uᵀ x0) with U_sol[j] = B''⁻¹ e_j.
-		var w [2]float64
+		var w [4]float64
 		for a := 0; a < m; a++ {
 			w[a] = x0[cols[a]]
 		}
@@ -394,10 +459,13 @@ func (s *screener) qvSolve(n *model.Network, k int, flows []float64) ([]float64,
 		// already; the B''-coupled response is ΔQ/V and needs the V_g
 		// scale back, matching the ΔQ/V convention of the PQ forcing.
 		dq := lossReg[g]
-		if br.From == g {
-			dq -= s.preQ[k] / n.BaseMVA
-		} else if br.To == g {
-			dq -= s.preQTo[k] / n.BaseMVA
+		for _, k := range ks {
+			br := n.Branches[k]
+			if br.From == g {
+				dq -= s.preQ[k] / n.BaseMVA
+			} else if br.To == g {
+				dq -= s.preQTo[k] / n.BaseMVA
+			}
 		}
 		var react float64
 		for p := s.y.RowPtr[g]; p < s.y.RowPtr[g+1]; p++ {
@@ -452,9 +520,12 @@ func (s *screener) boundsFromDV(n *model.Network, dv []float64) (lo, hi float64,
 	return lo, hi, true
 }
 
-// inv2 inverts an m×m (m ≤ 2) matrix stored in a fixed array.
-func inv2(a [2][2]float64, m int) ([2][2]float64, bool) {
-	var out [2][2]float64
+// invSmall inverts an m×m (m ≤ 4) matrix stored in a fixed array. The
+// m ≤ 2 cases use the closed forms (preserving the exact arithmetic of the
+// N-1 screen); m = 3, 4 — the pair screen's shared-endpoint systems — run
+// Gauss-Jordan with partial pivoting.
+func invSmall(a [4][4]float64, m int) ([4][4]float64, bool) {
+	var out [4][4]float64
 	switch m {
 	case 1:
 		if math.Abs(a[0][0]) < 1e-12 {
@@ -471,6 +542,46 @@ func inv2(a [2][2]float64, m int) ([2][2]float64, bool) {
 		out[1][1] = a[0][0] / det
 		out[0][1] = -a[0][1] / det
 		out[1][0] = -a[1][0] / det
+		return out, true
+	case 3, 4:
+		// Gauss-Jordan on [A | I] with partial pivoting.
+		var aug [4][8]float64
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				aug[i][j] = a[i][j]
+			}
+			aug[i][m+i] = 1
+		}
+		for col := 0; col < m; col++ {
+			piv := col
+			for r := col + 1; r < m; r++ {
+				if math.Abs(aug[r][col]) > math.Abs(aug[piv][col]) {
+					piv = r
+				}
+			}
+			if math.Abs(aug[piv][col]) < 1e-12 {
+				return out, false
+			}
+			aug[col], aug[piv] = aug[piv], aug[col]
+			d := aug[col][col]
+			for j := 0; j < 2*m; j++ {
+				aug[col][j] /= d
+			}
+			for r := 0; r < m; r++ {
+				if r == col || aug[r][col] == 0 {
+					continue
+				}
+				f := aug[r][col]
+				for j := 0; j < 2*m; j++ {
+					aug[r][j] -= f * aug[col][j]
+				}
+			}
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				out[i][j] = aug[i][m+j]
+			}
+		}
 		return out, true
 	default:
 		return out, false

@@ -91,6 +91,69 @@ func (c *sweepContext) analyze(k int, opts Options) *OutageResult {
 			return out
 		}
 	}
-	scoreOutage(out, res, c.n, k, opts)
+	scoreOutage(out, res, c.n, k, -1, opts)
+	return out
+}
+
+// analyzePair simulates the simultaneous outage of two elements — two
+// branches, or a branch plus a generator — on the zero-clone path: the
+// islanding check removes both branches from the prebuilt topology, the
+// view stacks both outages (rank-1 Ybus patches stack the same way inside
+// ViewSolver.Solve), and generation-touching pairs ride the solver's
+// in-place classification instead of falling back to Materialize.
+// analyzePairClone is the clone-based reference it is pinned against.
+func (c *sweepContext) analyzePair(p N2Pair, opts Options) *OutageResult {
+	if c.solver == nil {
+		return analyzePairClone(c.n, c.base, p, opts)
+	}
+	out := newPairResult(c.n, p)
+
+	// Islanding check first, with both branches (for mixed pairs the
+	// second skip is −1, removing nothing extra).
+	if count := c.topo.Islands2(p.BranchA, p.BranchB, c.comp, c.stack); count > 1 {
+		out.Islanded = true
+		slackComp := c.comp[c.slack]
+		for _, l := range c.n.Loads {
+			if l.InService && c.comp[l.Bus] != slackComp {
+				out.LoadShedMW += l.P
+			}
+		}
+		out.Severity = severity(out, opts)
+		return out
+	}
+
+	c.view.Reset()
+	c.view.OutBranch(p.BranchA)
+	if p.BranchB >= 0 {
+		c.view.OutBranch(p.BranchB)
+	}
+	var deficit float64
+	if p.Gen >= 0 {
+		var err error
+		if _, deficit, err = prepareGenOutage(c.n, c.view, p.Gen); err != nil {
+			// Unreachable: AnalyzeN2 validates units up front. Defensively
+			// proceed with the surviving branch outage under the pair's own
+			// identity — never a record masquerading as a different
+			// contingency.
+			deficit = 0
+		}
+	}
+	pfOpts := powerflow.Options{EnforceQLimits: true, Reorder: opts.reorder}
+	if !opts.NoWarmStart {
+		pfOpts.Warm = &c.base.Voltages
+	}
+	res, err := c.solver.Solve(c.view, pfOpts)
+	if err != nil || !res.Converged {
+		post := c.view.Materialize()
+		res, err = powerflow.Solve(post, powerflow.Options{Algorithm: powerflow.FastDecoupled})
+		if err != nil || !res.Converged {
+			out.Converged = false
+			out.LoadShedMW = estimateLoadShed(post)
+			out.Severity = severity(out, opts) + deficit
+			return out
+		}
+	}
+	scoreOutage(out, res, c.n, p.BranchA, p.BranchB, opts)
+	out.Severity += deficit
 	return out
 }

@@ -3,12 +3,27 @@ package model
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
+
+// cloneCount and materializeCount tally every deep Clone and view
+// Materialize process-wide. They exist for the zero-clone regression tests:
+// a sweep that promises "no network copies on the hot path" asserts the
+// counters did not move, which is exact where allocation budgets are noisy.
+var cloneCount, materializeCount atomic.Int64
+
+// CloneCount returns the process-wide number of Network.Clone calls.
+func CloneCount() int64 { return cloneCount.Load() }
+
+// MaterializeCount returns the process-wide number of OutageView.Materialize
+// calls.
+func MaterializeCount() int64 { return materializeCount.Load() }
 
 // Clone returns a deep copy of the network. Solvers and agents clone before
 // applying modifications so the session diff log can always be replayed
 // against the pristine case.
 func (n *Network) Clone() *Network {
+	cloneCount.Add(1)
 	c := &Network{Name: n.Name, BaseMVA: n.BaseMVA}
 	c.Buses = append([]Bus(nil), n.Buses...)
 	c.Loads = append([]Load(nil), n.Loads...)

@@ -16,8 +16,10 @@ type OutageView struct {
 	branchOut []int
 	genOut    []int
 	// gens is the copy-on-write generator slice; nil until a dispatch
-	// override is applied.
-	gens []Generator
+	// override is applied. gensBuf recycles its storage across Resets so a
+	// sweep of redispatching views allocates the copy once, not per outage.
+	gens    []Generator
+	gensBuf []Generator
 }
 
 // NewOutageView returns an empty view over base (no outages, no overrides).
@@ -29,7 +31,10 @@ func NewOutageView(base *Network) *OutageView {
 func (v *OutageView) Reset() {
 	v.branchOut = v.branchOut[:0]
 	v.genOut = v.genOut[:0]
-	v.gens = nil
+	if v.gens != nil {
+		v.gensBuf = v.gens
+		v.gens = nil
+	}
 }
 
 // OutBranch marks branch k as outaged in the view.
@@ -39,10 +44,16 @@ func (v *OutageView) OutBranch(k int) { v.branchOut = append(v.branchOut, k) }
 func (v *OutageView) OutGen(g int) { v.genOut = append(v.genOut, g) }
 
 // SetGenP overrides generator g's active dispatch (MW), copying the base
-// generator slice on first write.
+// generator slice on first write (into recycled storage when a prior Reset
+// left some).
 func (v *OutageView) SetGenP(g int, p float64) {
 	if v.gens == nil {
-		v.gens = append([]Generator(nil), v.Base.Gens...)
+		if cap(v.gensBuf) >= len(v.Base.Gens) {
+			v.gens = v.gensBuf[:len(v.Base.Gens)]
+		} else {
+			v.gens = make([]Generator, len(v.Base.Gens))
+		}
+		copy(v.gens, v.Base.Gens)
 	}
 	v.gens[g].P = p
 }
@@ -68,6 +79,17 @@ func (v *OutageView) BranchInService(k int) bool {
 	return v.Base.Branches[k].InService
 }
 
+// Gen returns generator g's effective record under the view: the base
+// generator with any dispatch override applied. Status is NOT applied here
+// — callers combine it with GenInService, mirroring how solvers read a
+// materialized network.
+func (v *OutageView) Gen(g int) Generator {
+	if v.gens != nil {
+		return v.gens[g]
+	}
+	return v.Base.Gens[g]
+}
+
 // GenInService reports the effective status of generator g under the view.
 func (v *OutageView) GenInService(g int) bool {
 	for _, o := range v.genOut {
@@ -89,6 +111,7 @@ func (v *OutageView) GenInService(g int) bool {
 // repeatedly (ViewSolver does so internally for generation-touching
 // views), so dispatch overrides are copied out, not handed over.
 func (v *OutageView) Materialize() *Network {
+	materializeCount.Add(1)
 	n := &Network{
 		Name:     v.Base.Name,
 		BaseMVA:  v.Base.BaseMVA,
@@ -164,6 +187,14 @@ func NewTopology(n *Network) *Topology {
 // Labeling matches a depth-first traversal from bus 0 upward; only label
 // equality is meaningful to callers.
 func (t *Topology) Islands(skip int, comp, stack []int) int {
+	return t.Islands2(skip, -1, comp, stack)
+}
+
+// Islands2 is Islands with TWO branches removed — the N-2 connectivity
+// check. Either skip may be negative (removing nothing), so Islands is the
+// skipB < 0 special case and the pair sweep shares one traversal kernel
+// with the N-1 sweep.
+func (t *Topology) Islands2(skipA, skipB int, comp, stack []int) int {
 	for i := range comp[:t.N] {
 		comp[i] = -1
 	}
@@ -178,7 +209,7 @@ func (t *Topology) Islands(skip int, comp, stack []int) int {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			for p := t.ptr[v]; p < t.ptr[v+1]; p++ {
-				if t.br[p] == skip {
+				if t.br[p] == skipA || t.br[p] == skipB {
 					continue
 				}
 				if w := t.bus[p]; comp[w] == -1 {

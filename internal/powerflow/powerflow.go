@@ -323,13 +323,19 @@ func switchPVtoPQ(y *model.Ybus, c *classification, vm, va []float64, sc *qSwitc
 }
 
 // resultScratch caches the per-network state finishResult needs — bus→
-// generator indices, aggregate bus loads, and complex work vectors — so
-// repeated result assembly (one per outage in a sweep) neither rescans the
-// generator list per bus nor allocates the intermediates.
+// generator indices, effective dispatches, aggregate bus loads, and complex
+// work vectors — so repeated result assembly (one per outage in a sweep)
+// neither rescans the generator list per bus nor allocates the
+// intermediates. configureView/configureBase repoint the generator side at
+// an OutageView's effective fleet, which is how the gen-outage fast path
+// assembles results without materializing a network.
 type resultScratch struct {
 	v, s         []complex128
 	gensAt       [][]int
 	loadP, loadQ []float64
+	// genP is the effective per-generator dispatch in MW: base setpoints,
+	// or the view's redispatch overrides after configureView.
+	genP []float64
 }
 
 // newResultScratch precomputes the cache for n. The aggregation order
@@ -343,12 +349,9 @@ func newResultScratch(n *model.Network) *resultScratch {
 		gensAt: make([][]int, nb),
 		loadP:  make([]float64, nb),
 		loadQ:  make([]float64, nb),
+		genP:   make([]float64, len(n.Gens)),
 	}
-	for gi, g := range n.Gens {
-		if g.InService {
-			sc.gensAt[g.Bus] = append(sc.gensAt[g.Bus], gi)
-		}
-	}
+	sc.configureBase(n)
 	for _, l := range n.Loads {
 		if l.InService {
 			sc.loadP[l.Bus] += l.P
@@ -356,6 +359,39 @@ func newResultScratch(n *model.Network) *resultScratch {
 		}
 	}
 	return sc
+}
+
+// configure rebuilds the scratch's generator tables from an effective
+// fleet: gensAt keeps only units reported in service, genP records their
+// dispatch. The single accumulation loop serves the base fleet and view
+// overlays alike, so the aggregation rule cannot drift between them.
+// Views only remove generators, so the per-bus slices shrink within their
+// existing capacity.
+func (sc *resultScratch) configure(n *model.Network, inService func(int) bool, genP func(int) float64) {
+	for b := range sc.gensAt {
+		sc.gensAt[b] = sc.gensAt[b][:0]
+	}
+	for gi, g := range n.Gens {
+		sc.genP[gi] = genP(gi)
+		if inService(gi) {
+			sc.gensAt[g.Bus] = append(sc.gensAt[g.Bus], gi)
+		}
+	}
+}
+
+// configureView repoints the scratch at the view's effective fleet —
+// status mask applied, dispatch overrides carried. Loads never change
+// under views.
+func (sc *resultScratch) configureView(n *model.Network, view *model.OutageView) {
+	sc.configure(n, view.GenInService, func(gi int) float64 { return view.Gen(gi).P })
+}
+
+// configureBase resets the scratch to the base network's fleet, undoing a
+// configureView.
+func (sc *resultScratch) configureBase(n *model.Network) {
+	sc.configure(n,
+		func(gi int) bool { return n.Gens[gi].InService },
+		func(gi int) float64 { return n.Gens[gi].P })
 }
 
 // finishResult computes flows, losses, generator allocations and extrema.
@@ -406,7 +442,7 @@ func finishResultScratch(n *model.Network, y *model.Ybus, c *classification, vm,
 			// Keep dispatched P; numerical residue goes nowhere.
 			busGenP = 0
 			for _, g := range gens {
-				busGenP += n.Gens[g].P
+				busGenP += sc.genP[g]
 			}
 		}
 		var pCap, qRange float64

@@ -49,6 +49,16 @@ type ViewSolver struct {
 	qsc    *qSwitchScratch
 	rsc    *resultScratch
 
+	// Generation-view working buffers: generation-touching views re-derive
+	// the classification in place (outages/redispatch change pSpec and the
+	// reactive aggregates, not topology), so they own spec copies instead
+	// of sharing the pristine base arrays.
+	pSpecBuf, qMinBuf, qMaxBuf []float64
+	hasGenBuf                  []bool
+	// rscView tracks whether rsc currently reflects a view fleet and must
+	// be reset before the next base-fleet solve.
+	rscView bool
+
 	st      *fixedState
 	patches []model.BranchPatch
 }
@@ -83,16 +93,20 @@ func NewViewSolver(n *model.Network, baseY *model.Ybus) (*ViewSolver, error) {
 	}
 	nb := len(n.Buses)
 	s := &ViewSolver{
-		base:  n,
-		y:     baseY.Copy(),
-		c0:    c,
-		qSpec: make([]float64, nb),
-		pvBuf: make([]int, 0, nb),
-		pqBuf: make([]int, 0, nb),
-		vm:    make([]float64, nb),
-		va:    make([]float64, nb),
-		qsc:   newQSwitchScratch(nb),
-		rsc:   newResultScratch(n),
+		base:      n,
+		y:         baseY.Copy(),
+		c0:        c,
+		qSpec:     make([]float64, nb),
+		pvBuf:     make([]int, 0, nb),
+		pqBuf:     make([]int, 0, nb),
+		vm:        make([]float64, nb),
+		va:        make([]float64, nb),
+		qsc:       newQSwitchScratch(nb),
+		rsc:       newResultScratch(n),
+		pSpecBuf:  make([]float64, nb),
+		qMinBuf:   make([]float64, nb),
+		qMaxBuf:   make([]float64, nb),
+		hasGenBuf: make([]bool, nb),
 	}
 	s.st = newFixedState(s.y, nb, c.slack)
 	return s, nil
@@ -140,14 +154,17 @@ func newFixedState(y *model.Ybus, nb, slack int) *fixedState {
 func (s *ViewSolver) Base() *model.Network { return s.base }
 
 // Solve runs the power flow for the view. Branch-outage views take the
-// zero-clone patched path; views with generation changes (different
-// classification) and non-Newton algorithms fall back to materializing the
-// view — correct, just not allocation-free.
+// zero-clone patched path. Generation-touching views (outages, redispatch)
+// also stay in place: the classification is re-derived from the view's
+// effective fleet — gen changes move pSpec and the reactive aggregates,
+// never topology — so the same patched Ybus, compiled Jacobian and LU
+// symbolic analysis serve them too. Only non-Newton algorithms fall back
+// to materializing the view.
 func (s *ViewSolver) Solve(view *model.OutageView, opts Options) (*Result, error) {
 	if view.Base != s.base {
 		return nil, fmt.Errorf("powerflow: view is over a different base network")
 	}
-	if view.HasGenChanges() || opts.Algorithm != NewtonRaphson {
+	if opts.Algorithm != NewtonRaphson {
 		return Solve(view.Materialize(), opts)
 	}
 	if opts.Tol == 0 {
@@ -169,20 +186,34 @@ func (s *ViewSolver) Solve(view *model.OutageView, opts Options) (*Result, error
 		s.patches = s.patches[:0]
 	}()
 
-	// Working classification: immutable specs shared with the pristine
-	// copy, the Q-switch-mutated parts (pv/pq membership, qSpec) owned.
-	copy(s.qSpec, s.c0.qSpec)
-	c := classification{
-		slack:   s.c0.slack,
-		pv:      append(s.pvBuf[:0], s.c0.pv...),
-		pq:      append(s.pqBuf[:0], s.c0.pq...),
-		pSpec:   s.c0.pSpec,
-		qSpec:   s.qSpec,
-		qMinBus: s.c0.qMinBus,
-		qMaxBus: s.c0.qMaxBus,
-	}
+	var c classification
 	vm, va := s.vm, s.va
-	startVoltagesInto(s.base, opts, vm, va)
+	if view.HasGenChanges() {
+		// In-place gen path: owned spec buffers derived from the view's
+		// effective fleet, result scratch repointed the same way.
+		c = s.classifyView(view)
+		s.rsc.configureView(s.base, view)
+		s.rscView = true
+		startVoltagesViewInto(s.base, view, opts, vm, va)
+	} else {
+		if s.rscView {
+			s.rsc.configureBase(s.base)
+			s.rscView = false
+		}
+		// Working classification: immutable specs shared with the pristine
+		// copy, the Q-switch-mutated parts (pv/pq membership, qSpec) owned.
+		copy(s.qSpec, s.c0.qSpec)
+		c = classification{
+			slack:   s.c0.slack,
+			pv:      append(s.pvBuf[:0], s.c0.pv...),
+			pq:      append(s.pqBuf[:0], s.c0.pq...),
+			pSpec:   s.c0.pSpec,
+			qSpec:   s.qSpec,
+			qMinBus: s.c0.qMinBus,
+			qMaxBus: s.c0.qMaxBus,
+		}
+		startVoltagesInto(s.base, opts, vm, va)
+	}
 
 	res := &Result{Algorithm: opts.Algorithm}
 	const maxQRounds = 6
@@ -208,6 +239,91 @@ func (s *ViewSolver) Solve(view *model.OutageView, opts Options) (*Result, error
 	}
 	finishResultScratch(s.base, s.y, &c, vm, va, res, s.rsc)
 	return res, nil
+}
+
+// classifyView rebuilds the PV/PQ classification from the view's effective
+// generator fleet into the solver's owned buffers. It replicates
+// classify()'s accumulation loops — same visit order, same per-generator
+// arithmetic — with the view's status mask and dispatch overrides applied,
+// so the specification vectors match what classify would produce on the
+// materialized network bitwise. A PV bus whose last in-service unit is
+// outaged degrades to PQ here exactly as it would there; the fixed
+// augmented Newton state absorbs the different split through its identity
+// pinning, so no pattern or symbolic work follows.
+func (s *ViewSolver) classifyView(view *model.OutageView) classification {
+	n := s.base
+	nb := len(n.Buses)
+	for i := 0; i < nb; i++ {
+		s.pSpecBuf[i], s.qSpec[i] = 0, 0
+		s.qMinBuf[i], s.qMaxBuf[i] = 0, 0
+		s.hasGenBuf[i] = false
+	}
+	for gi := range n.Gens {
+		if !view.GenInService(gi) {
+			continue
+		}
+		g := view.Gen(gi)
+		s.hasGenBuf[g.Bus] = true
+		s.pSpecBuf[g.Bus] += g.P / n.BaseMVA
+		s.qMinBuf[g.Bus] += g.QMin / n.BaseMVA
+		s.qMaxBuf[g.Bus] += g.QMax / n.BaseMVA
+	}
+	for _, l := range n.Loads {
+		if !l.InService {
+			continue
+		}
+		s.pSpecBuf[l.Bus] -= l.P / n.BaseMVA
+		s.qSpec[l.Bus] -= l.Q / n.BaseMVA
+	}
+	c := classification{
+		slack:   s.c0.slack,
+		pv:      s.pvBuf[:0],
+		pq:      s.pqBuf[:0],
+		pSpec:   s.pSpecBuf,
+		qSpec:   s.qSpec,
+		qMinBus: s.qMinBuf,
+		qMaxBus: s.qMaxBuf,
+	}
+	for i, b := range n.Buses {
+		if i == c.slack {
+			continue
+		}
+		if b.Type == model.PV && s.hasGenBuf[i] {
+			c.pv = append(c.pv, i)
+		} else {
+			c.pq = append(c.pq, i)
+		}
+	}
+	return c
+}
+
+// startVoltagesViewInto mirrors startVoltagesInto under the view's
+// effective generator statuses: an outaged machine's voltage setpoint must
+// not seed the start profile, exactly as on the materialized network.
+func startVoltagesViewInto(n *model.Network, view *model.OutageView, opts Options, vm, va []float64) {
+	if opts.Warm != nil {
+		copy(vm, opts.Warm.Vm)
+		copy(va, opts.Warm.Va)
+		return
+	}
+	for i, b := range n.Buses {
+		if opts.FlatStart {
+			vm[i], va[i] = 1, 0
+		} else {
+			vm[i], va[i] = b.Vm, b.Va
+		}
+	}
+	for gi := range n.Gens {
+		if !view.GenInService(gi) {
+			continue
+		}
+		g := view.Gen(gi)
+		if g.VSetpoint > 0 {
+			if n.Buses[g.Bus].Type == model.PV || n.Buses[g.Bus].Type == model.Slack {
+				vm[g.Bus] = g.VSetpoint
+			}
+		}
+	}
 }
 
 // newtonRound iterates Newton to convergence for the current split on the

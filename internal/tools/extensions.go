@@ -23,6 +23,7 @@ const (
 	ToolCompareStrategy = "compare_operation_strategies"
 	ToolGenOutage       = "analyze_generator_outage"
 	ToolAssessQuality   = "assess_solution_quality"
+	ToolRunN2           = "run_n2_contingency_screening"
 )
 
 // ExtendedACOPFToolNames returns the ACOPF agent's toolbox including the
@@ -32,9 +33,9 @@ func ExtendedACOPFToolNames() []string {
 }
 
 // ExtendedCAToolNames returns the CA agent's toolbox including the
-// generator-outage extension.
+// generator-outage and N-2 screening extensions.
 func ExtendedCAToolNames() []string {
-	return append(CAToolNames(), ToolGenOutage)
+	return append(CAToolNames(), ToolGenOutage, ToolRunN2)
 }
 
 // RegisterExtensions adds the extension tools to a registry bound to the
@@ -49,7 +50,99 @@ func RegisterExtensions(r *Registry, ctx *session.Context) error {
 	if err := r.Register(genOutageTool(ctx)); err != nil {
 		return err
 	}
+	if err := r.Register(runN2Tool(ctx)); err != nil {
+		return err
+	}
 	return r.Register(assessQualityTool(ctx))
+}
+
+// runN2Tool exposes the N-2 screening pipeline to the reliability (CA)
+// agent: candidate double outages are seeded from the session's N-1 sweep
+// (run on demand), DC pre-screened via the LODF pair composition, and the
+// survivors AC-verified on the zero-clone view path.
+func runN2Tool(ctx *session.Context) *Tool {
+	return &Tool{
+		Name: ToolRunN2,
+		Description: "Run N-2 (double outage) contingency screening: seed candidate branch pairs from the " +
+			"N-1 critical list, rank them with a fast linear (LODF) pre-screen, AC-verify the survivors, " +
+			"and return the top-k critical pairs with their violations.",
+		Input: schema.Obj("", map[string]*schema.Schema{
+			"top_k":     schema.Int("how many critical pairs to report (default 5)").WithRange(1, 100),
+			"seed_k":    schema.Int("how many N-1 critical outages to seed pairs from (default 10)").WithRange(2, 50),
+			"max_pairs": schema.Int("cap on candidate pairs (default: no cap)").WithRange(1, 10000),
+		}),
+		Output: schema.Obj("N-2 screening", map[string]*schema.Schema{
+			"total_pairs": schema.Int("candidate pairs analyzed"),
+			"screened":    schema.Int("pairs certified secure by the DC pre-screen"),
+			"critical": schema.Arr("ranked critical pairs", schema.Obj("", map[string]*schema.Schema{
+				"branch_a": schema.Int("first branch index"),
+				"branch_b": schema.Int("second branch index"),
+			}, "branch_a", "branch_b").WithExtra()),
+		}, "total_pairs", "critical").WithExtra(),
+		Fn: func(args map[string]any) (any, error) {
+			topK := 5
+			if v, ok := args["top_k"].(float64); ok {
+				topK = int(v)
+			}
+			n1, base, err := ensureCASweep(ctx)
+			if err != nil {
+				return nil, err
+			}
+			n, err := ctx.Network()
+			if err != nil {
+				return nil, err
+			}
+			n2opts := contingency.N2Options{Options: contingency.Options{
+				Cache:          ctx.ContCache(),
+				CacheKeyPrefix: ctx.DiffHash(),
+			}}
+			if v, ok := args["seed_k"].(float64); ok {
+				n2opts.TopK = int(v)
+			}
+			if v, ok := args["max_pairs"].(float64); ok {
+				n2opts.MaxPairs = int(v)
+			}
+			rs, err := contingency.AnalyzeN2(n, base, n1, n2opts)
+			if err != nil {
+				return nil, err
+			}
+			stats := rs.Summarize()
+			top := rs.Top(topK, contingency.Composite)
+			crit := make([]map[string]any, 0, len(top))
+			for rank, o := range top {
+				crit = append(crit, map[string]any{
+					"rank":            rank + 1,
+					"branch_a":        o.Branch,
+					"branch_b":        o.Branch2,
+					"from_bus":        o.FromBusID,
+					"to_bus":          o.ToBusID,
+					"from2_bus":       o.From2BusID,
+					"to2_bus":         o.To2BusID,
+					"severity":        round2(o.Severity),
+					"max_loading_pct": round2(o.MaxLoadingPct),
+					"overloads":       len(o.Overloads),
+					"volt_violations": len(o.VoltViols),
+					"load_shed_mw":    round2(o.LoadShedMW),
+					"islanded":        o.Islanded,
+					"description":     o.Describe(),
+				})
+			}
+			ctx.AddProvenance(ToolRunN2, fmt.Sprintf(
+				"N-2 screening: %d pairs, %d screened secure, %d islanding, %d with overloads",
+				stats.Total, rs.Screened, stats.Islanding, stats.WithOverload))
+			return map[string]any{
+				"case_name":      rs.CaseName,
+				"total_pairs":    stats.Total,
+				"screened":       rs.Screened,
+				"secure":         stats.Secure,
+				"with_overload":  stats.WithOverload,
+				"with_volt_viol": stats.WithVoltViol,
+				"islanding":      stats.Islanding,
+				"unsolved":       stats.Unsolved,
+				"critical":       crit,
+			}, nil
+		},
+	}
 }
 
 func assessQualityTool(ctx *session.Context) *Tool {

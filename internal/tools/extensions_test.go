@@ -18,10 +18,10 @@ func extendedRegistry(t *testing.T) (*Registry, *session.Context) {
 
 func TestExtensionsRegistered(t *testing.T) {
 	r, _ := extendedRegistry(t)
-	if len(r.Names()) != 11 {
-		t.Fatalf("registry has %d tools, want 7 paper tools + 4 extensions", len(r.Names()))
+	if len(r.Names()) != 12 {
+		t.Fatalf("registry has %d tools, want 7 paper tools + 5 extensions", len(r.Names()))
 	}
-	for _, name := range []string{ToolLoadSensitivity, ToolCompareStrategy, ToolGenOutage, ToolAssessQuality} {
+	for _, name := range []string{ToolLoadSensitivity, ToolCompareStrategy, ToolGenOutage, ToolAssessQuality, ToolRunN2} {
 		if _, ok := r.Get(name); !ok {
 			t.Errorf("extension %s missing", name)
 		}
@@ -30,8 +30,40 @@ func TestExtensionsRegistered(t *testing.T) {
 	if len(ExtendedACOPFToolNames()) != 6 {
 		t.Fatalf("extended ACOPF toolbox has %d entries", len(ExtendedACOPFToolNames()))
 	}
-	if len(ExtendedCAToolNames()) != 5 {
+	if len(ExtendedCAToolNames()) != 6 {
 		t.Fatalf("extended CA toolbox has %d entries", len(ExtendedCAToolNames()))
+	}
+}
+
+func TestRunN2Tool(t *testing.T) {
+	r, sess := extendedRegistry(t)
+	if _, err := sess.LoadCase("case57"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Invoke(ToolRunN2, map[string]any{"top_k": 3.0, "seed_k": 6.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := out.(map[string]any)
+	if m["total_pairs"].(float64) <= 0 {
+		t.Fatalf("no pairs analyzed: %v", m)
+	}
+	crit := m["critical"].([]any)
+	if len(crit) == 0 || len(crit) > 3 {
+		t.Fatalf("critical list has %d entries", len(crit))
+	}
+	for _, raw := range crit {
+		row := raw.(map[string]any)
+		if row["branch_a"] == row["branch_b"] {
+			t.Fatalf("degenerate pair in critical list: %v", row)
+		}
+		if row["description"].(string) == "" {
+			t.Fatal("missing pair narrative")
+		}
+	}
+	// The seeding sweep was deposited in the session for reuse.
+	if rs, fresh := sess.CASweep(); rs == nil || !fresh {
+		t.Fatal("N-1 seeding sweep not stored in the session")
 	}
 }
 

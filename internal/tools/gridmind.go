@@ -322,6 +322,33 @@ func solveBaseCaseTool(ctx *session.Context) *Tool {
 	}
 }
 
+// ensureCASweep returns a fresh N-1 sweep (and the base power flow it ran
+// from) for the current network state, running one under the session cache
+// if needed. The single helper keeps every sweep-consuming tool on
+// identical sweep options.
+func ensureCASweep(ctx *session.Context) (*contingency.ResultSet, *powerflow.Result, error) {
+	base, err := ensureBase(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rs, fresh := ctx.CASweep(); fresh {
+		return rs, base, nil
+	}
+	n, err := ctx.Network()
+	if err != nil {
+		return nil, nil, err
+	}
+	rs, err := contingency.Analyze(n, base, contingency.Options{
+		Cache:          ctx.ContCache(),
+		CacheKeyPrefix: ctx.DiffHash(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx.SetCASweep(rs)
+	return rs, base, nil
+}
+
 // ensureBase returns a fresh base power flow, computing one if needed.
 func ensureBase(ctx *session.Context) (*powerflow.Result, error) {
 	if base, fresh := ctx.BasePF(); fresh && base.Converged {
@@ -364,24 +391,9 @@ func runN1Tool(ctx *session.Context) *Tool {
 			if s, ok := args["strategy"].(string); ok && s == "thermal-first" {
 				strategy = contingency.ThermalFirst
 			}
-			base, err := ensureBase(ctx)
+			rs, _, err := ensureCASweep(ctx)
 			if err != nil {
 				return nil, err
-			}
-			n, err := ctx.Network()
-			if err != nil {
-				return nil, err
-			}
-			rs, fresh := ctx.CASweep()
-			if !fresh {
-				rs, err = contingency.Analyze(n, base, contingency.Options{
-					Cache:          ctx.ContCache(),
-					CacheKeyPrefix: ctx.DiffHash(),
-				})
-				if err != nil {
-					return nil, err
-				}
-				ctx.SetCASweep(rs)
 			}
 			stats := rs.Summarize()
 			top := rs.Top(topK, strategy)

@@ -1,22 +1,28 @@
 package gridmind_test
 
 import (
+	"context"
+	"sync"
+	"sync/atomic"
 	"testing"
 
+	"gridmind"
 	"gridmind/internal/cases"
 	"gridmind/internal/contingency"
 	"gridmind/internal/model"
 	"gridmind/internal/opf"
 	"gridmind/internal/powerflow"
 	"gridmind/internal/scopf"
+	"gridmind/internal/session"
 )
 
 // Numeric-core benchmarks tracked in BENCH_numeric.json: Ybus assembly,
 // a full Newton solve, the N-1 branch and generation sweeps, the N-2
-// screening pipeline, the interior-point ACOPF and the SCOPF loop, each
-// over the paper-scale cases. Regenerate the JSON with:
+// screening pipeline, the interior-point ACOPF, the SCOPF loop, the
+// session snapshot cache and the multi-session serving path, each over
+// the paper-scale cases. Regenerate the JSON with:
 //
-//	go test -run '^$' -bench 'BuildYbus|NewtonSolve|N1Sweep|GenSweep|N2Screen|ACOPF|SCOPF' -benchmem .
+//	go test -run '^$' -bench 'BuildYbus|NewtonSolve|N1Sweep|GenSweep|N2Screen|ACOPF|SCOPF|SessionNetwork|ConcurrentAsk' -benchmem .
 
 func benchBuildYbus(b *testing.B, caseName string) {
 	n := cases.MustLoad(caseName)
@@ -135,6 +141,101 @@ func BenchmarkACOPFCase14(b *testing.B)  { benchACOPF(b, "case14") }
 func BenchmarkACOPFCase30(b *testing.B)  { benchACOPF(b, "case30") }
 func BenchmarkACOPFCase57(b *testing.B)  { benchACOPF(b, "case57") }
 func BenchmarkACOPFCase118(b *testing.B) { benchACOPF(b, "case118") }
+
+// benchSession builds a case57 session carrying a typical what-if diff
+// log (the serving-path state reconstruction workload).
+func benchSession(b *testing.B) *session.Context {
+	b.Helper()
+	c := session.New(nil)
+	if _, err := c.LoadCase("case57"); err != nil {
+		b.Fatal(err)
+	}
+	mods := []session.Modification{
+		{Kind: session.ModSetLoad, BusID: 9, PMW: 40, QMVAr: 12},
+		{Kind: session.ModScaleLoad, Factor: 1.05},
+		{Kind: session.ModOutageBranch, Branch: 3},
+		{Kind: session.ModRestoreBranch, Branch: 3},
+		{Kind: session.ModSetGenP, Gen: 1, PMW: 55},
+	}
+	for _, m := range mods {
+		if err := c.Apply(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+// BenchmarkSessionNetworkSnapshot prices Context.Network() on the
+// snapshot-cache hit path — what every tool call pays per state access
+// since the multi-session engine (zero clones, zero replays).
+func BenchmarkSessionNetworkSnapshot(b *testing.B) {
+	c := benchSession(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Network(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionNetworkReplay prices the same access with the snapshot
+// dropped each iteration — the pre-engine clone+replay cost the cache
+// removes from every tool call.
+func BenchmarkSessionNetworkReplay(b *testing.B) {
+	c := benchSession(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.DropSnapshot()
+		if _, err := c.Network(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcurrentAsk8 measures multi-session serving throughput: 8
+// sessions sharing one artifact engine answer "Solve IEEE 14" concurrently
+// (each ask runs a full coordinator round and an interior-point ACOPF).
+// ns/op is the per-ask wall time at 8-way session concurrency.
+func BenchmarkConcurrentAsk8(b *testing.B) {
+	eng := gridmind.NewEngine()
+	const k = 8
+	sessions := make([]*gridmind.GridMind, k)
+	for i := range sessions {
+		sessions[i] = gridmind.New(gridmind.Options{Engine: eng})
+	}
+	// Warm one session so compilation happens outside the measured region
+	// (steady-state serving is the quantity of interest).
+	if _, err := sessions[0].Ask(context.Background(), "Solve IEEE 14"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	var next int64
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for w := 0; w < k; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if int(atomic.AddInt64(&next, 1)) > b.N {
+					return
+				}
+				ex, err := sessions[w].Ask(context.Background(), "Solve IEEE 14")
+				if err != nil || !ex.Success {
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failed.Load() {
+		b.Fatal("concurrent ask failed")
+	}
+}
 
 func BenchmarkSCOPFCase57(b *testing.B) {
 	n := cases.MustLoad("case57")

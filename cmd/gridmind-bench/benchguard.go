@@ -1,19 +1,24 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
+	"gridmind"
 	"gridmind/internal/cases"
 	"gridmind/internal/contingency"
 	"gridmind/internal/model"
 	"gridmind/internal/opf"
 	"gridmind/internal/powerflow"
 	"gridmind/internal/scopf"
+	"gridmind/internal/session"
 )
 
 // benchBaseline mirrors the subset of BENCH_numeric.json the guard reads.
@@ -74,7 +79,12 @@ type guardRow struct {
 //     pre-screen + zero-clone AC verification, candidate set capped);
 //   - the interior-point ACOPF on case57 and case118 (the PR 3
 //     fixed-pattern KKT path);
-//   - the SCOPF tightening loop on case57 (ACOPF × N-1 × rounds).
+//   - the SCOPF tightening loop on case57 (ACOPF × N-1 × rounds);
+//   - the session snapshot-cache hit path (Network() on an unchanged diff
+//     log — a reintroduced per-call clone/replay trips the alloc arm);
+//   - the 8-session concurrent serving workload over one shared engine
+//     (the PR 5 multi-session path; per-ask allocations are the
+//     machine-independent arm).
 func runBenchGuard(baselinePath, outPath, caseName string, tol float64) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -146,6 +156,83 @@ func runBenchGuard(baselinePath, outPath, caseName string, tol float64) error {
 		},
 		{name: "BenchmarkACOPFCase57", run: benchGuardACOPF(cases.MustLoad("case57"))},
 		{name: "BenchmarkACOPFCase118", run: benchGuardACOPF(cases.MustLoad("case118"))},
+		{
+			// The session snapshot-cache hit path: every tool call's state
+			// access. A reintroduced per-call clone+replay shows up as 5
+			// allocs/op against a 0-alloc baseline.
+			name: "BenchmarkSessionNetworkSnapshot",
+			run: func() func(b *testing.B) {
+				sess := session.New(nil)
+				if _, err := sess.LoadCase("case57"); err != nil {
+					return func(b *testing.B) { b.Fatal(err) }
+				}
+				mods := []session.Modification{
+					{Kind: session.ModSetLoad, BusID: 9, PMW: 40, QMVAr: 12},
+					{Kind: session.ModScaleLoad, Factor: 1.05},
+					{Kind: session.ModOutageBranch, Branch: 3},
+					{Kind: session.ModRestoreBranch, Branch: 3},
+					{Kind: session.ModSetGenP, Gen: 1, PMW: 55},
+				}
+				for _, m := range mods {
+					if err := sess.Apply(m); err != nil {
+						return func(b *testing.B) { b.Fatal(err) }
+					}
+				}
+				return func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := sess.Network(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}(),
+		},
+		{
+			// Multi-session serving throughput: 8 sessions, one shared
+			// engine, concurrent asks. allocs/op is the machine-independent
+			// arm — a session that stops sharing compiled artifacts (or a
+			// tool call that re-grows per-ask allocations) trips it even on
+			// faster hardware.
+			name: "BenchmarkConcurrentAsk8",
+			run: func() func(b *testing.B) {
+				eng := gridmind.NewEngine()
+				const k = 8
+				sessions := make([]*gridmind.GridMind, k)
+				for i := range sessions {
+					sessions[i] = gridmind.New(gridmind.Options{Engine: eng})
+				}
+				if _, err := sessions[0].Ask(context.Background(), "Solve IEEE 14"); err != nil {
+					return func(b *testing.B) { b.Fatal(err) }
+				}
+				return func(b *testing.B) {
+					b.ReportAllocs()
+					var next int64
+					var wg sync.WaitGroup
+					var failed atomic.Bool
+					for w := 0; w < k; w++ {
+						wg.Add(1)
+						go func(w int) {
+							defer wg.Done()
+							for {
+								if int(atomic.AddInt64(&next, 1)) > b.N {
+									return
+								}
+								ex, err := sessions[w].Ask(context.Background(), "Solve IEEE 14")
+								if err != nil || !ex.Success {
+									failed.Store(true)
+									return
+								}
+							}
+						}(w)
+					}
+					wg.Wait()
+					if failed.Load() {
+						b.Fatal("concurrent ask failed")
+					}
+				}
+			}(),
+		},
 		{
 			name: "BenchmarkSCOPFCase57",
 			run: func() func(b *testing.B) {

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"gridmind"
+)
+
+// server bundles the HTTP surface: the session manager, the shared
+// artifact engine (for the /metrics gauges), a default session serving
+// session-less /ask calls (back-compat with the single-tenant API), and
+// the simulated chat-completions backend.
+type server struct {
+	mgr *sessionManager
+	eng *gridmind.Engine
+	def *gridmind.GridMind
+	// defMu serializes asks into the default session, matching the
+	// per-session discipline managed sessions get from the manager.
+	defMu sync.Mutex
+	sim   http.Handler
+	// maxBody bounds /ask and /sessions request bodies in bytes.
+	maxBody int64
+}
+
+// writeJSON writes a JSON response with status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr renders errors as {"error": ...} with a proper status instead
+// of a bare 500.
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// errStatus maps session-manager errors onto HTTP statuses.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, errSessionNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, errAtCapacity):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// decodeBody JSON-decodes a size-limited request body, distinguishing
+// oversized bodies (413) from malformed ones (400).
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", s.maxBody))
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, "malformed JSON body")
+		return false
+	}
+	return true
+}
+
+// routes assembles the HTTP mux.
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ask", s.handleAsk)
+	mux.HandleFunc("/sessions", s.handleSessions)
+	mux.HandleFunc("/sessions/", s.handleSessionByID)
+	mux.HandleFunc("/cases", s.handleCases)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.Handle("/v1/chat/completions", s.sim)
+	return mux
+}
+
+// handleAsk routes one query: into the named session when session_id is
+// given, into the shared default session otherwise (the original
+// single-tenant contract).
+func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var in struct {
+		Query     string `json:"query"`
+		SessionID string `json:"session_id"`
+	}
+	if !s.decodeBody(w, r, &in) {
+		return
+	}
+	if strings.TrimSpace(in.Query) == "" {
+		writeErr(w, http.StatusBadRequest, `body must be {"query": "...", "session_id": "optional"}`)
+		return
+	}
+	var ex *gridmind.Exchange
+	var err error
+	if in.SessionID != "" {
+		ex, err = s.mgr.ask(r.Context(), in.SessionID, in.Query)
+	} else {
+		s.defMu.Lock()
+		ex, err = s.def.Ask(r.Context(), in.Query)
+		s.defMu.Unlock()
+	}
+	if err != nil {
+		writeErr(w, errStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"session_id": in.SessionID,
+		"reply":      ex.Reply,
+		"success":    ex.Success,
+		"turns":      len(ex.Turns),
+		"latency_s":  ex.Latency.Seconds(),
+		"workflow":   ex.Steps,
+	})
+}
+
+// handleSessions creates (POST) or lists (GET) sessions.
+func (s *server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var in struct {
+			Model string `json:"model"`
+		}
+		// An empty body is a valid "default model" request.
+		if r.ContentLength != 0 && !s.decodeBody(w, r, &in) {
+			return
+		}
+		model := in.Model
+		if model == "" {
+			model = gridmind.ModelGPTO3
+		}
+		if err := gridmind.ValidateModel(model); err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		sess, err := s.mgr.create(model)
+		if err != nil {
+			writeErr(w, errStatus(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]any{
+			"session_id": sess.ID,
+			"model":      sess.Model,
+			"created_at": sess.Created,
+		})
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"live":     s.mgr.len(),
+			"sessions": s.mgr.list(),
+		})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "POST or GET only")
+	}
+}
+
+// handleSessionByID deletes one session (DELETE /sessions/{id}).
+func (s *server) handleSessionByID(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/sessions/")
+	if id == "" || strings.Contains(id, "/") {
+		writeErr(w, http.StatusNotFound, "unknown resource")
+		return
+	}
+	switch r.Method {
+	case http.MethodDelete:
+		if !s.mgr.remove(id) {
+			writeErr(w, http.StatusNotFound, errSessionNotFound.Error())
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "DELETE only")
+	}
+}
+
+func (s *server) handleCases(w http.ResponseWriter, r *http.Request) {
+	rows, err := gridmind.CaseSummaries()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, rows)
+}
+
+// handleMetrics writes the instrumentation CSV merged across the default
+// session and every live managed session, followed by comment-prefixed
+// gauge lines: live sessions and the engine's artifact hit/miss counters.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/csv")
+	fmt.Fprintln(w, "model,agent,latency_s,prompt_tokens,completion_tokens,tool_calls,validation_errors,factual_slips,recoveries,success")
+	writeRows := func(rows []gridmind.Interaction) {
+		for _, row := range rows {
+			fmt.Fprintf(w, "%s,%s,%.3f,%d,%d,%d,%d,%d,%d,%t\n",
+				row.Model, row.Agent, row.Latency.Seconds(),
+				row.PromptTokens, row.CompletionTokens, row.ToolCalls,
+				row.ValidationErrors, row.FactualSlips, row.Recoveries, row.Success)
+		}
+	}
+	writeRows(s.def.Metrics())
+	s.mgr.each(func(ms *managedSession) { writeRows(ms.gm.Metrics()) })
+
+	st := s.eng.Stats()
+	fmt.Fprintf(w, "# live_sessions %d\n", s.mgr.len())
+	fmt.Fprintf(w, "# engine_pristine_hits %d\n# engine_pristine_misses %d\n", st.PristineHits, st.PristineMisses)
+	fmt.Fprintf(w, "# engine_struct_hits %d\n# engine_struct_misses %d\n", st.StructHits, st.StructMisses)
+	fmt.Fprintf(w, "# engine_ybus_builds %d\n# engine_topology_builds %d\n# engine_ptdf_builds %d\n",
+		st.YbusBuilds, st.TopoBuilds, st.PTDFBuilds)
+	fmt.Fprintf(w, "# engine_opf_context_reuses %d\n# engine_opf_context_creates %d\n", st.OPFReuses, st.OPFCreates)
+	fmt.Fprintf(w, "# engine_sweep_pool_hits %d\n# engine_sweep_pool_new %d\n", st.SweepPoolHits, st.SweepPoolNew)
+	fmt.Fprintf(w, "# engine_base_pf_hits %d\n# engine_base_pf_solves %d\n", st.BasePFHits, st.BasePFSolves)
+}

@@ -1,23 +1,35 @@
-// Command gridmind-server exposes GridMind over HTTP: a JSON ask API for
-// the multi-agent pipeline and a chat-completions endpoint that serves
-// the simulated LLM backends (so external agent frameworks can test
-// against GridMind's model profiles).
+// Command gridmind-server exposes GridMind over HTTP as a multi-session
+// serving engine: a session manager routes each conversation to its own
+// shared-context session while every session draws compiled artifacts
+// (pristine cases, Ybus/topology, PTDF/LODF memos, interior-point KKT
+// patterns, sweep solver contexts) from ONE process-wide engine, so N
+// sessions on the same case pay for one compilation.
 //
 // Endpoints:
 //
-//	POST /ask                  {"query": "..."}            → coordinated reply
-//	GET  /cases                                            → Table 2 inventory
-//	GET  /metrics                                          → instrumentation CSV
-//	POST /v1/chat/completions  chat-completions dialect    → simulated backend
+//	POST   /sessions              {"model": "..."}                → create a session
+//	GET    /sessions                                              → live-session listing
+//	DELETE /sessions/{id}                                         → drop a session
+//	POST   /ask                   {"query": "...", "session_id"?} → coordinated reply
+//	GET    /cases                                                 → Table 2 inventory
+//	GET    /metrics                                               → CSV + engine gauges
+//	POST   /v1/chat/completions   chat-completions dialect        → simulated backend
+//
+// /ask without a session_id uses a shared default session (the original
+// single-tenant contract). Sessions idle past -session-ttl expire. The
+// server drains gracefully on SIGINT/SIGTERM.
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"gridmind"
@@ -26,63 +38,58 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	modelName := flag.String("model", gridmind.ModelGPTO3, "simulated model profile")
+	modelName := flag.String("model", gridmind.ModelGPTO3, "simulated model profile for the default session")
+	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "idle session expiry (0 disables)")
+	maxSessions := flag.Int("max-sessions", 1024, "live session cap (0 = unlimited)")
+	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
 	flag.Parse()
 	if err := gridmind.ValidateModel(*modelName); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	gm := gridmind.New(gridmind.Options{Model: *modelName})
+	eng := gridmind.NewEngine()
+	factory := func(model string) *gridmind.GridMind {
+		return gridmind.New(gridmind.Options{Model: model, Engine: eng})
+	}
+	mgr := newSessionManager(factory, *sessionTTL, *maxSessions)
+	defer mgr.close()
+
 	profile, _ := llm.ProfileByName(*modelName)
+	srv := &server{
+		mgr:     mgr,
+		eng:     eng,
+		def:     factory(*modelName),
+		sim:     llm.Handler(llm.NewSim(profile)),
+		maxBody: *maxBody,
+	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/ask", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		var in struct {
-			Query string `json:"query"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&in); err != nil || in.Query == "" {
-			http.Error(w, "body must be {\"query\": \"...\"}", http.StatusBadRequest)
-			return
-		}
-		ex, err := gm.Ask(r.Context(), in.Query)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(map[string]any{
-			"reply":     ex.Reply,
-			"success":   ex.Success,
-			"turns":     len(ex.Turns),
-			"latency_s": ex.Latency.Seconds(),
-			"workflow":  ex.Steps,
-		})
-	})
-	mux.HandleFunc("/cases", func(w http.ResponseWriter, r *http.Request) {
-		rows, err := gridmind.CaseSummaries()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(rows)
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/csv")
-		_ = gm.WriteMetricsCSV(w)
-	})
-	mux.Handle("/v1/chat/completions", llm.Handler(llm.NewSim(profile)))
-
-	srv := &http.Server{
+	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           srv.routes(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("gridmind-server listening on %s (model %s)", *addr, *modelName)
-	log.Fatal(srv.ListenAndServe())
+
+	// Graceful shutdown: SIGINT/SIGTERM stop accepting and drain in-flight
+	// requests instead of dying mid-solve under a bare log.Fatal.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("gridmind-server listening on %s (default model %s, session ttl %s, max sessions %d)",
+		*addr, *modelName, *sessionTTL, *maxSessions)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Printf("gridmind-server: shutdown signal received, draining")
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer shutCancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("gridmind-server: forced shutdown: %v", err)
+		}
+	}
 }

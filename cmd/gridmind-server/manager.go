@@ -1,0 +1,226 @@
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gridmind"
+)
+
+// Session-manager errors, mapped to HTTP statuses by the handlers.
+var (
+	errSessionNotFound = errors.New("session not found (expired or never created)")
+	errAtCapacity      = errors.New("session limit reached; retry after idle sessions expire")
+)
+
+// managedSession is one live conversational session. Asks within a
+// session are serialized by mu (the coordinator's shared context is a
+// conversation, not a queue); distinct sessions run fully in parallel.
+type managedSession struct {
+	ID      string
+	Model   string
+	Created time.Time
+
+	mu       sync.Mutex // serializes Ask within the session
+	gm       *gridmind.GridMind
+	lastUsed time.Time // guarded by the manager's lock
+	asks     int64     // guarded by the manager's lock
+	busy     int       // in-flight asks; guarded by the manager's lock
+}
+
+// sessionManager owns the live-session table: creation, id routing, idle
+// expiry and the per-session/cross-session concurrency discipline.
+type sessionManager struct {
+	factory     func(model string) *gridmind.GridMind
+	idleTTL     time.Duration
+	maxSessions int
+
+	mu       sync.Mutex
+	sessions map[string]*managedSession
+	now      func() time.Time
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// newSessionManager starts a manager and its idle-expiry janitor.
+func newSessionManager(factory func(string) *gridmind.GridMind, idleTTL time.Duration, maxSessions int) *sessionManager {
+	m := &sessionManager{
+		factory:     factory,
+		idleTTL:     idleTTL,
+		maxSessions: maxSessions,
+		sessions:    make(map[string]*managedSession),
+		now:         time.Now,
+		stop:        make(chan struct{}),
+	}
+	if idleTTL > 0 {
+		m.wg.Add(1)
+		go m.janitor()
+	}
+	return m
+}
+
+func (m *sessionManager) janitor() {
+	defer m.wg.Done()
+	tick := m.idleTTL / 4
+	if tick < time.Second {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.expireIdle()
+		}
+	}
+}
+
+// expireIdle drops sessions idle past the TTL; it returns how many died.
+// A session with an in-flight ask is never idle, however long the solve
+// runs — expiring it mid-use would 404 the very next request of an
+// actively-used conversation.
+func (m *sessionManager) expireIdle() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cutoff := m.now().Add(-m.idleTTL)
+	n := 0
+	for id, s := range m.sessions {
+		if s.busy == 0 && s.lastUsed.Before(cutoff) {
+			delete(m.sessions, id)
+			n++
+		}
+	}
+	return n
+}
+
+// close stops the janitor.
+func (m *sessionManager) close() {
+	close(m.stop)
+	m.wg.Wait()
+}
+
+// create registers a new session for the model profile.
+func (m *sessionManager) create(model string) (*managedSession, error) {
+	var raw [9]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return nil, fmt.Errorf("session id: %w", err)
+	}
+	id := "sess-" + hex.EncodeToString(raw[:])
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.maxSessions > 0 && len(m.sessions) >= m.maxSessions {
+		return nil, errAtCapacity
+	}
+	now := m.now()
+	s := &managedSession{
+		ID:       id,
+		Model:    model,
+		Created:  now,
+		gm:       m.factory(model),
+		lastUsed: now,
+	}
+	m.sessions[id] = s
+	return s, nil
+}
+
+// get returns a live session, refreshing its idle clock.
+func (m *sessionManager) get(id string) (*managedSession, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, errSessionNotFound
+	}
+	s.lastUsed = m.now()
+	return s, nil
+}
+
+// remove deletes a session; false when it does not exist.
+func (m *sessionManager) remove(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.sessions[id]; !ok {
+		return false
+	}
+	delete(m.sessions, id)
+	return true
+}
+
+// ask routes one query into a session, serialized per session (two asks
+// into the same session queue behind each other; asks into different
+// sessions run concurrently).
+func (m *sessionManager) ask(ctx context.Context, id, query string) (*gridmind.Exchange, error) {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, errSessionNotFound
+	}
+	s.busy++
+	s.lastUsed = m.now()
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		s.busy--
+		s.asks++
+		s.lastUsed = m.now()
+		m.mu.Unlock()
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gm.Ask(ctx, query)
+}
+
+// sessionInfo is the /sessions listing row.
+type sessionInfo struct {
+	ID       string    `json:"session_id"`
+	Model    string    `json:"model"`
+	Created  time.Time `json:"created_at"`
+	LastUsed time.Time `json:"last_used_at"`
+	Asks     int64     `json:"asks"`
+}
+
+// list snapshots the live sessions, oldest first.
+func (m *sessionManager) list() []sessionInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]sessionInfo, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		out = append(out, sessionInfo{
+			ID: s.ID, Model: s.Model, Created: s.Created,
+			LastUsed: s.lastUsed, Asks: s.asks,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Created.Before(out[b].Created) })
+	return out
+}
+
+// len reports the live-session gauge.
+func (m *sessionManager) len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// each runs fn over every live session (used by /metrics to merge rows).
+func (m *sessionManager) each(fn func(*managedSession)) {
+	m.mu.Lock()
+	snapshot := make([]*managedSession, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		snapshot = append(snapshot, s)
+	}
+	m.mu.Unlock()
+	sort.Slice(snapshot, func(a, b int) bool { return snapshot[a].Created.Before(snapshot[b].Created) })
+	for _, s := range snapshot {
+		fn(s)
+	}
+}

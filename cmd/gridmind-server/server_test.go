@@ -1,0 +1,320 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gridmind"
+	"gridmind/internal/llm"
+)
+
+// newTestServer assembles a server exactly like main does, with a small
+// body cap so the 413 path is testable.
+func newTestServer(t *testing.T, maxSessions int) (*server, *httptest.Server) {
+	t.Helper()
+	eng := gridmind.NewEngine()
+	factory := func(model string) *gridmind.GridMind {
+		return gridmind.New(gridmind.Options{Model: model, Engine: eng})
+	}
+	mgr := newSessionManager(factory, time.Hour, maxSessions)
+	t.Cleanup(mgr.close)
+	profile, _ := llm.ProfileByName(gridmind.ModelGPTO3)
+	s := &server{
+		mgr:     mgr,
+		eng:     eng,
+		def:     factory(gridmind.ModelGPTO3),
+		sim:     llm.Handler(llm.NewSim(profile)),
+		maxBody: 4096,
+	}
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func TestCasesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 8)
+	resp, err := http.Get(ts.URL + "/cases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/cases status %d", resp.StatusCode)
+	}
+	var rows []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("cases rows = %d, want 5", len(rows))
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, 8)
+
+	// Create.
+	resp, out := postJSON(t, ts.URL+"/sessions", map[string]any{"model": gridmind.ModelGPT5Mini})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d: %v", resp.StatusCode, out)
+	}
+	id, _ := out["session_id"].(string)
+	if id == "" {
+		t.Fatalf("no session_id in %v", out)
+	}
+
+	// List shows it.
+	lresp, err := http.Get(ts.URL + "/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var listing struct {
+		Live     int           `json:"live"`
+		Sessions []sessionInfo `json:"sessions"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if listing.Live != 1 || len(listing.Sessions) != 1 || listing.Sessions[0].ID != id {
+		t.Fatalf("listing %+v", listing)
+	}
+
+	// Ask into it.
+	aresp, aout := postJSON(t, ts.URL+"/ask", map[string]any{"query": "Solve IEEE 14", "session_id": id})
+	if aresp.StatusCode != http.StatusOK {
+		t.Fatalf("ask status %d: %v", aresp.StatusCode, aout)
+	}
+	if ok, _ := aout["success"].(bool); !ok {
+		t.Fatalf("ask failed: %v", aout)
+	}
+
+	// Delete, then the id 404s.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/sessions/"+id, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", dresp.StatusCode)
+	}
+	aresp2, aout2 := postJSON(t, ts.URL+"/ask", map[string]any{"query": "Solve IEEE 14", "session_id": id})
+	if aresp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("ask on deleted session: status %d, body %v", aresp2.StatusCode, aout2)
+	}
+	if msg, _ := aout2["error"].(string); msg == "" {
+		t.Fatal("error response must be JSON with an error field")
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+
+	// Bad model → 400.
+	resp, _ := postJSON(t, ts.URL+"/sessions", map[string]any{"model": "gpt-nonexistent"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad model status %d", resp.StatusCode)
+	}
+
+	// Capacity → 409.
+	if resp, _ := postJSON(t, ts.URL+"/sessions", map[string]any{}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first create status %d", resp.StatusCode)
+	}
+	resp, out := postJSON(t, ts.URL+"/sessions", map[string]any{})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("at-capacity create: status %d, body %v", resp.StatusCode, out)
+	}
+}
+
+func TestAskValidation(t *testing.T) {
+	_, ts := newTestServer(t, 8)
+
+	// Default session (no session_id) keeps the single-tenant contract.
+	resp, out := postJSON(t, ts.URL+"/ask", map[string]any{"query": "What is the current network status?"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default-session ask status %d: %v", resp.StatusCode, out)
+	}
+
+	// Empty query → 400.
+	if resp, _ := postJSON(t, ts.URL+"/ask", map[string]any{}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty query status %d", resp.StatusCode)
+	}
+
+	// Malformed JSON → 400.
+	mresp, err := http.Post(ts.URL+"/ask", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body status %d", mresp.StatusCode)
+	}
+
+	// Oversized body → 413.
+	big := map[string]any{"query": strings.Repeat("x", 8192)}
+	if resp, _ := postJSON(t, ts.URL+"/ask", big); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status %d", resp.StatusCode)
+	}
+
+	// Wrong method → 405.
+	gresp, err := http.Get(ts.URL + "/ask")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /ask status %d", gresp.StatusCode)
+	}
+}
+
+func TestMetricsGauges(t *testing.T) {
+	_, ts := newTestServer(t, 8)
+	if resp, _ := postJSON(t, ts.URL+"/sessions", map[string]any{}); resp.StatusCode != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	for _, gauge := range []string{"# live_sessions 1", "# engine_ptdf_builds", "# engine_opf_context_reuses", "# engine_base_pf_hits"} {
+		if !strings.Contains(body, gauge) {
+			t.Fatalf("/metrics missing %q in:\n%s", gauge, body)
+		}
+	}
+}
+
+func TestChatCompletionsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 8)
+	body := `{"model":"gpt-o3","messages":[{"role":"user","content":"hello"}]}`
+	resp, err := http.Post(ts.URL+"/v1/chat/completions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chat completions status %d", resp.StatusCode)
+	}
+}
+
+func TestIdleExpiry(t *testing.T) {
+	s, _ := newTestServer(t, 8)
+	ms, err := s.mgr.create(gridmind.ModelGPTO3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fast-forward the manager's clock past the TTL and sweep.
+	s.mgr.mu.Lock()
+	s.mgr.now = func() time.Time { return time.Now().Add(2 * time.Hour) }
+	s.mgr.mu.Unlock()
+	if n := s.mgr.expireIdle(); n != 1 {
+		t.Fatalf("expired %d sessions, want 1", n)
+	}
+	if _, err := s.mgr.get(ms.ID); err == nil {
+		t.Fatal("expired session still resolvable")
+	}
+}
+
+// TestIdleExpirySkipsBusySessions: a session with an in-flight ask never
+// expires, no matter how long the solve runs.
+func TestIdleExpirySkipsBusySessions(t *testing.T) {
+	s, _ := newTestServer(t, 8)
+	ms, err := s.mgr.create(gridmind.ModelGPTO3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mgr.mu.Lock()
+	ms.busy = 1
+	s.mgr.now = func() time.Time { return time.Now().Add(2 * time.Hour) }
+	s.mgr.mu.Unlock()
+	if n := s.mgr.expireIdle(); n != 0 {
+		t.Fatalf("expired %d busy sessions, want 0", n)
+	}
+	s.mgr.mu.Lock()
+	ms.busy = 0
+	s.mgr.mu.Unlock()
+	if n := s.mgr.expireIdle(); n != 1 {
+		t.Fatalf("idle session survived: expired %d, want 1", n)
+	}
+}
+
+// TestConcurrentSessionsOneCase is the multi-tenant acceptance hammer:
+// K distinct sessions ask about the same case concurrently through one
+// engine. Run under -race in CI, it pins the engine + session-manager
+// concurrency contract; the engine counters prove the case compiled once.
+func TestConcurrentSessionsOneCase(t *testing.T) {
+	s, ts := newTestServer(t, 16)
+	const K = 8
+	ids := make([]string, K)
+	for i := range ids {
+		resp, out := postJSON(t, ts.URL+"/sessions", map[string]any{})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %d: status %d", i, resp.StatusCode)
+		}
+		ids[i] = out["session_id"].(string)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, K)
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			resp, out := postJSON(t, ts.URL+"/ask", map[string]any{"query": "Solve IEEE 14", "session_id": id})
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("session %s: status %d body %v", id, resp.StatusCode, out)
+				return
+			}
+			if ok, _ := out["success"].(bool); !ok {
+				errs[i] = fmt.Errorf("session %s: ask unsuccessful: %v", id, out)
+			}
+		}(i, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.eng.Stats()
+	if st.PristineMisses != 1 {
+		t.Fatalf("case14 loaded %d times across %d sessions, want 1", st.PristineMisses, K)
+	}
+	if st.YbusBuilds > 1 || st.TopoBuilds > 1 {
+		t.Fatalf("structural artifacts rebuilt: %+v", st)
+	}
+	if st.OPFCreates+st.OPFReuses < K {
+		t.Fatalf("KKT pool under-used: creates=%d reuses=%d across %d asks", st.OPFCreates, st.OPFReuses, K)
+	}
+}

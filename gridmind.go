@@ -31,6 +31,7 @@ import (
 	"gridmind/internal/agents"
 	"gridmind/internal/cases"
 	"gridmind/internal/contingency"
+	"gridmind/internal/engine"
 	"gridmind/internal/llm"
 	"gridmind/internal/metrics"
 	"gridmind/internal/model"
@@ -63,7 +64,18 @@ type (
 	Interaction = metrics.Interaction
 	// Quality is the solution-quality assessment schema.
 	Quality = opf.Quality
+	// Engine is the process-wide compiled-artifact store shared by
+	// concurrent sessions (see Options.Engine and NewEngine).
+	Engine = engine.Engine
+	// EngineStats is an Engine's reuse-counter snapshot.
+	EngineStats = engine.Stats
 )
+
+// NewEngine returns a fresh shared artifact store. Hand the same engine to
+// every gridmind.New call in a serving process so N sessions on the same
+// case share one compilation instead of N; sessions created without one
+// share a process-wide default.
+func NewEngine() *Engine { return engine.New() }
 
 // Evaluated model names (the paper's §4 set).
 const (
@@ -129,6 +141,9 @@ type Options struct {
 	// clock (off by default: latency is tracked on a virtual clock and
 	// reported, not slept).
 	RealLatency bool
+	// Engine, when non-nil, is the shared compiled-artifact store this
+	// session draws from; nil selects the process-wide default engine.
+	Engine *Engine
 }
 
 // GridMind is a conversational session: planner, coordinator, the ACOPF
@@ -175,11 +190,15 @@ func New(o Options) *GridMind {
 		Client:        client,
 		Clock:         clock,
 		Recorder:      rec,
+		Engine:        o.Engine,
 		AbsorbLatency: absorb,
 		Salt:          o.Salt,
 	})
 	return &GridMind{coord: coord, recorder: rec, clock: clock, start: clock.Now()}
 }
+
+// Engine returns the session's shared artifact store.
+func (g *GridMind) Engine() *Engine { return g.coord.Engine }
 
 // Ask routes one natural-language request through the planner and agents.
 func (g *GridMind) Ask(ctx context.Context, query string) (*Exchange, error) {
@@ -216,7 +235,7 @@ func (g *GridMind) PersistSession(w io.Writer) error {
 // one (the §3.4 "seamless resumption"): the agents and tools are rebound
 // to the restored context.
 func (g *GridMind) RestoreSession(r io.Reader) error {
-	sess, err := session.Restore(r, g.clock.Now)
+	sess, err := session.RestoreWithEngine(r, g.clock.Now, g.coord.Engine)
 	if err != nil {
 		return err
 	}
@@ -225,6 +244,7 @@ func (g *GridMind) RestoreSession(r io.Reader) error {
 		Clock:         g.clock,
 		Recorder:      g.recorder,
 		Session:       sess,
+		Engine:        g.coord.Engine,
 		AbsorbLatency: g.coord.ACOPF.AbsorbLatency,
 		Salt:          g.coord.ACOPF.Salt,
 	})

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"gridmind/internal/engine"
 	"gridmind/internal/llm"
 	"gridmind/internal/metrics"
 	"gridmind/internal/session"
@@ -55,6 +56,8 @@ type Coordinator struct {
 	CA      *Agent
 	Session *session.Context
 	Clock   simclock.Clock
+	// Engine is the shared compiled-artifact store the tools draw from.
+	Engine *engine.Engine
 
 	mu       sync.Mutex
 	workflow []WorkflowStep
@@ -70,6 +73,10 @@ type Config struct {
 	Recorder *metrics.Recorder
 	// Session is the shared context; nil creates a fresh one.
 	Session *session.Context
+	// Engine is the shared compiled-artifact store; nil selects the
+	// process-wide default, so independent coordinators in one process
+	// still share per-case compilations.
+	Engine *engine.Engine
 	// AbsorbLatency: see Agent.AbsorbLatency.
 	AbsorbLatency bool
 	// Salt: run index for seeded randomness.
@@ -83,14 +90,20 @@ func NewCoordinator(cfg Config) *Coordinator {
 	if clock == nil {
 		clock = simclock.Real{}
 	}
+	eng := cfg.Engine
+	if eng == nil {
+		eng = engine.Default()
+	}
 	sess := cfg.Session
 	if sess == nil {
-		sess = session.New(clock.Now)
+		sess = session.NewWithEngine(clock.Now, eng)
+	} else if sess.Engine() == nil {
+		sess.AttachEngine(eng)
 	}
-	reg := tools.NewGridMind(sess)
+	reg := tools.NewGridMind(sess, eng)
 	// The §B.4 workflow extensions (sensitivity analysis, economic vs
 	// security-constrained comparison) register like any other tool.
-	if err := tools.RegisterExtensions(reg, sess); err != nil {
+	if err := tools.RegisterExtensions(reg, sess, eng); err != nil {
 		panic(err) // static registration; failure is a programming error
 	}
 	mk := func(name, prompt string, toolNames []string) *Agent {
@@ -111,6 +124,7 @@ func NewCoordinator(cfg Config) *Coordinator {
 		CA:      mk(CAAgentName, CASystemPrompt, tools.ExtendedCAToolNames()),
 		Session: sess,
 		Clock:   clock,
+		Engine:  eng,
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"gridmind/internal/model"
 	"gridmind/internal/powerflow"
+	"gridmind/internal/ptdf"
 )
 
 // BranchLoading reports one overloaded branch after an outage.
@@ -163,11 +164,29 @@ type Options struct {
 	// reference implementation with it. Production callers leave it false.
 	ReferenceClone bool
 
-	// reorder shares the Jacobian fill-reducing ordering across the
+	// BaseYbus, when non-nil, is the base admittance matrix of n, shared
+	// read-only (workers value-copy it before patching). It MUST match n's
+	// structure and branch parameters; the engine keys it by structural
+	// signature. Nil builds one per call, as before.
+	BaseYbus *model.Ybus
+	// Topology, when non-nil, is the prebuilt adjacency of n for the
+	// allocation-free islanding checks. Same matching contract as BaseYbus.
+	Topology *model.Topology
+	// PTDF, when non-nil, is the distribution-factor matrix of n used by
+	// DC screening, shared across calls (its LODF memo is concurrency-
+	// safe). Nil builds one per screened sweep, as before.
+	PTDF *ptdf.Matrix
+	// Pool, when non-nil, recycles worker solve contexts (compiled Newton
+	// pattern + LU symbolic analysis) across calls. Callers must key pools
+	// by network state (case + diff hash): the pool drops contexts when
+	// the (network, base) pair changes. See SweepPool.
+	Pool *SweepPool
+	// Reorder shares the Jacobian fill-reducing ordering across the
 	// per-outage Newton solves: every outage network has the same bus set
-	// as the base, so the ordering is computed once per sweep instead of
-	// once per outage. Populated by Analyze before workers start.
-	reorder *powerflow.OrderingCache
+	// as the base, so the ordering is computed once per sweep (or once per
+	// structure, when the engine provides it) instead of once per outage.
+	// Nil makes Analyze create a sweep-local cache.
+	Reorder *powerflow.OrderingCache
 }
 
 func (o *Options) fill() {
@@ -213,8 +232,8 @@ func Analyze(n *model.Network, base *powerflow.Result, opts Options) (*ResultSet
 		}
 	}
 
-	if opts.reorder == nil {
-		opts.reorder = powerflow.NewOrderingCache()
+	if opts.Reorder == nil {
+		opts.Reorder = powerflow.NewOrderingCache()
 	}
 
 	// Optional linear screening stage: predict post-outage loadings with
@@ -230,20 +249,26 @@ func Analyze(n *model.Network, base *powerflow.Result, opts Options) (*ResultSet
 
 	// Worker pool over the outage list. Each worker owns one zero-clone
 	// sweep context (patched Ybus, reusable Newton state, topology scratch)
-	// built once, so the per-outage cost is the solve itself — no network
-	// clones, no Ybus rebuilds, no symbolic work.
+	// built once — or checked out of the engine's SweepPool, which carries
+	// compiled contexts across whole sweeps — so the per-outage cost is the
+	// solve itself: no network clones, no Ybus rebuilds, no symbolic work.
 	results := make([]OutageResult, len(branches))
 	var screened int64
 	var next int64
-	// Shared worker prerequisites, built once and only if some worker
-	// actually reaches the view path (a fully cached or reference-clone
-	// sweep never pays for them).
-	var baseY *model.Ybus
-	var topo *model.Topology
+	// Shared worker prerequisites, taken from Options when the engine
+	// provides them, otherwise built once and only if some worker actually
+	// reaches the view path (a fully cached or reference-clone sweep never
+	// pays for them).
+	baseY := opts.BaseYbus
+	topo := opts.Topology
 	var prepOnce sync.Once
 	prep := func() {
-		baseY = model.BuildYbus(n)
-		topo = model.NewTopology(n)
+		if baseY == nil {
+			baseY = model.BuildYbus(n)
+		}
+		if topo == nil {
+			topo = model.NewTopology(n)
+		}
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
@@ -251,6 +276,11 @@ func Analyze(n *model.Network, base *powerflow.Result, opts Options) (*ResultSet
 		go func() {
 			defer wg.Done()
 			var ctx *sweepContext
+			defer func() {
+				if ctx != nil && opts.Pool != nil {
+					opts.Pool.release(ctx)
+				}
+			}()
 			for {
 				idx := int(atomic.AddInt64(&next, 1) - 1)
 				if idx >= len(branches) {
@@ -279,7 +309,11 @@ func Analyze(n *model.Network, base *powerflow.Result, opts Options) (*ResultSet
 				} else {
 					if ctx == nil {
 						prepOnce.Do(prep)
-						ctx = newSweepContext(n, base, topo, baseY)
+						if opts.Pool != nil {
+							ctx = opts.Pool.acquire(n, base, topo, baseY)
+						} else {
+							ctx = newSweepContext(n, base, topo, baseY)
+						}
 					}
 					r = ctx.analyze(k, opts)
 				}
@@ -296,16 +330,28 @@ func Analyze(n *model.Network, base *powerflow.Result, opts Options) (*ResultSet
 	return rs, nil
 }
 
-// AnalyzeOne simulates the outage of branch k and scores it. One-shot
-// calls build a fresh view context; sweeps amortize theirs across outages
-// via Analyze. With opts.ReferenceClone it runs the legacy clone-based
-// path instead (the differential-test reference).
+// AnalyzeOne simulates the outage of branch k and scores it. Like Analyze,
+// it takes the prebuilt topology, base Ybus and a recyclable solve context
+// from Options when the engine provides them — a single-outage tool query
+// then pays for the solve only, not a topology + Ybus + pattern rebuild.
+// Bare calls (no shared artifacts) build what they need, as before. With
+// opts.ReferenceClone it runs the legacy clone-based path instead (the
+// differential-test reference).
 func AnalyzeOne(n *model.Network, base *powerflow.Result, k int, opts Options) *OutageResult {
 	opts.fill()
 	if opts.ReferenceClone {
 		return analyzeOneClone(n, base, k, opts)
 	}
-	ctx := newSweepContext(n, base, model.NewTopology(n), nil)
+	topo := opts.Topology
+	if topo == nil {
+		topo = model.NewTopology(n)
+	}
+	if opts.Pool != nil {
+		ctx := opts.Pool.acquire(n, base, topo, opts.BaseYbus)
+		defer opts.Pool.release(ctx)
+		return ctx.analyze(k, opts)
+	}
+	ctx := newSweepContext(n, base, topo, opts.BaseYbus)
 	return ctx.analyze(k, opts)
 }
 
@@ -337,7 +383,7 @@ func analyzeOneClone(n *model.Network, base *powerflow.Result, k int, opts Optio
 		return out
 	}
 
-	pfOpts := powerflow.Options{EnforceQLimits: true, Reorder: opts.reorder}
+	pfOpts := powerflow.Options{EnforceQLimits: true, Reorder: opts.Reorder}
 	if !opts.NoWarmStart {
 		pfOpts.Warm = base.Voltages.Clone()
 	}

@@ -152,9 +152,11 @@ type genSweepContext struct {
 	solver *powerflow.ViewSolver // nil when the base fails to classify
 }
 
-func newGenSweepContext(n *model.Network) *genSweepContext {
+// newGenSweepContext prepares a generator-sweep context. baseY (optional)
+// is the shared base admittance matrix to value-copy; nil builds one.
+func newGenSweepContext(n *model.Network, baseY *model.Ybus) *genSweepContext {
 	ctx := &genSweepContext{n: n, view: model.NewOutageView(n)}
-	ctx.solver, _ = powerflow.NewViewSolver(n, nil)
+	ctx.solver, _ = powerflow.NewViewSolver(n, baseY)
 	return ctx
 }
 
@@ -200,7 +202,12 @@ func AnalyzeGenOutage(n *model.Network, g int, opts Options) (*GenOutageResult, 
 	if opts.ReferenceClone {
 		return analyzeGenOutageMaterialize(n, g, opts)
 	}
-	return newGenSweepContext(n).analyzeGen(g, opts)
+	if opts.Pool != nil {
+		ctx := opts.Pool.acquireGen(n, opts.BaseYbus)
+		defer opts.Pool.releaseGen(ctx)
+		return ctx.analyzeGen(g, opts)
+	}
+	return newGenSweepContext(n, opts.BaseYbus).analyzeGen(g, opts)
 }
 
 // analyzeGenOutageMaterialize is the legacy implementation — view
@@ -244,6 +251,13 @@ func AnalyzeGenOutages(n *model.Network, opts Options) ([]GenOutageResult, error
 	opts.fill()
 	// Lazily built: reference-mode sweeps never pay for the solver context.
 	var ctx *genSweepContext
+	if opts.Pool != nil {
+		defer func() {
+			if ctx != nil {
+				opts.Pool.releaseGen(ctx)
+			}
+		}()
+	}
 	var out []GenOutageResult
 	for g, gen := range n.Gens {
 		if !gen.InService {
@@ -255,7 +269,11 @@ func AnalyzeGenOutages(n *model.Network, opts Options) ([]GenOutageResult, error
 			r, err = analyzeGenOutageMaterialize(n, g, opts)
 		} else {
 			if ctx == nil {
-				ctx = newGenSweepContext(n)
+				if opts.Pool != nil {
+					ctx = opts.Pool.acquireGen(n, opts.BaseYbus)
+				} else {
+					ctx = newGenSweepContext(n, opts.BaseYbus)
+				}
 			}
 			r, err = ctx.analyzeGen(g, opts)
 		}

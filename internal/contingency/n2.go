@@ -269,8 +269,8 @@ func AnalyzeN2(n *model.Network, base *powerflow.Result, n1 *ResultSet, opts N2O
 	if len(pairs) == 0 {
 		return rs, nil
 	}
-	if opts.reorder == nil {
-		opts.reorder = powerflow.NewOrderingCache()
+	if opts.Reorder == nil {
+		opts.Reorder = powerflow.NewOrderingCache()
 	}
 
 	// DC pre-screen state (shared read-only by all workers; the LODF memo
@@ -286,12 +286,16 @@ func AnalyzeN2(n *model.Network, base *powerflow.Result, n1 *ResultSet, opts N2O
 	results := make([]OutageResult, len(pairs))
 	var screened int64
 	var next int64
-	var baseY *model.Ybus
-	var topo *model.Topology
+	baseY := opts.BaseYbus
+	topo := opts.Topology
 	var prepOnce sync.Once
 	prep := func() {
-		baseY = model.BuildYbus(n)
-		topo = model.NewTopology(n)
+		if baseY == nil {
+			baseY = model.BuildYbus(n)
+		}
+		if topo == nil {
+			topo = model.NewTopology(n)
+		}
 	}
 	workers := opts.Workers
 	if workers > len(pairs) {
@@ -306,6 +310,11 @@ func AnalyzeN2(n *model.Network, base *powerflow.Result, n1 *ResultSet, opts N2O
 		go func() {
 			defer wg.Done()
 			var ctx *sweepContext
+			defer func() {
+				if ctx != nil && opts.Pool != nil {
+					opts.Pool.release(ctx)
+				}
+			}()
 			for {
 				idx := int(atomic.AddInt64(&next, 1) - 1)
 				if idx >= len(pairs) {
@@ -334,7 +343,11 @@ func AnalyzeN2(n *model.Network, base *powerflow.Result, n1 *ResultSet, opts N2O
 				} else {
 					if ctx == nil {
 						prepOnce.Do(prep)
-						ctx = newSweepContext(n, base, topo, baseY)
+						if opts.Pool != nil {
+							ctx = opts.Pool.acquire(n, base, topo, baseY)
+						} else {
+							ctx = newSweepContext(n, base, topo, baseY)
+						}
 					}
 					r = ctx.analyzePair(p, opts.Options)
 				}
@@ -394,7 +407,7 @@ func analyzePairClone(n *model.Network, base *powerflow.Result, p N2Pair, opts O
 		return out
 	}
 
-	pfOpts := powerflow.Options{EnforceQLimits: true, Reorder: opts.reorder}
+	pfOpts := powerflow.Options{EnforceQLimits: true, Reorder: opts.Reorder}
 	if !opts.NoWarmStart {
 		pfOpts.Warm = base.Voltages.Clone()
 	}

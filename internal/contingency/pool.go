@@ -1,0 +1,121 @@
+package contingency
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gridmind/internal/model"
+	"gridmind/internal/powerflow"
+)
+
+// SweepPool recycles the zero-clone worker contexts (sweepContext for
+// branch/pair outages, genSweepContext for generator outages) across
+// Analyze/AnalyzeOne/AnalyzeN2/AnalyzeGenOutage calls, so a session that
+// sweeps repeatedly — or several sessions sharing one engine — reuse the
+// compiled Newton patterns and LU symbolic analyses instead of rebuilding
+// them per call.
+//
+// A context is only valid for the exact (network, base power flow) pair it
+// was built from: the solver's classification embeds loads and dispatch,
+// not just topology. Free lists are therefore keyed by that pointer pair.
+// Callers key pools by session state (case + diff hash), so every pair a
+// pool sees is the SAME state replayed by a different session (zero-diff
+// sessions share the engine pristine and hence one pair); keeping a free
+// list per pair lets each session reuse its own contexts without evicting
+// the others'. The pair map is bounded — beyond the cap it resets, which
+// costs recompilation, never correctness. All methods are safe for
+// concurrent use.
+type SweepPool struct {
+	mu   sync.Mutex
+	free map[poolKey][]*sweepContext
+
+	genFree map[*model.Network][]*genSweepContext
+
+	reuses, builds atomic.Int64
+}
+
+// poolKey identifies the exact binding a sweep context is valid for.
+type poolKey struct {
+	n    *model.Network
+	base *powerflow.Result
+}
+
+// maxPoolKeys bounds the per-pool binding map (distinct bindings are one
+// per session replica of the state; a runaway map means leaked sessions).
+const maxPoolKeys = 16
+
+// NewSweepPool returns an empty pool.
+func NewSweepPool() *SweepPool {
+	return &SweepPool{
+		free:    make(map[poolKey][]*sweepContext),
+		genFree: make(map[*model.Network][]*genSweepContext),
+	}
+}
+
+// ContextReuses reports how many worker contexts were served from the pool.
+func (p *SweepPool) ContextReuses() int64 { return p.reuses.Load() }
+
+// ContextBuilds reports how many worker contexts had to be built fresh
+// (each build compiles a Jacobian pattern and an LU symbolic analysis).
+func (p *SweepPool) ContextBuilds() int64 { return p.builds.Load() }
+
+// acquire returns a worker context for (n, base), recycling one bound to
+// the same pair and building one otherwise. topo and baseY feed a fresh
+// build exactly as newSweepContext takes them.
+func (p *SweepPool) acquire(n *model.Network, base *powerflow.Result, topo *model.Topology, baseY *model.Ybus) *sweepContext {
+	key := poolKey{n: n, base: base}
+	p.mu.Lock()
+	if list := p.free[key]; len(list) > 0 {
+		c := list[len(list)-1]
+		p.free[key] = list[:len(list)-1]
+		p.mu.Unlock()
+		p.reuses.Add(1)
+		return c
+	}
+	p.mu.Unlock()
+	p.builds.Add(1)
+	return newSweepContext(n, base, topo, baseY)
+}
+
+// release returns a context to the free list of the pair it was built for.
+func (p *SweepPool) release(c *sweepContext) {
+	if c == nil {
+		return
+	}
+	key := poolKey{n: c.n, base: c.base}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.free[key]; !ok && len(p.free) >= maxPoolKeys {
+		p.free = make(map[poolKey][]*sweepContext)
+	}
+	p.free[key] = append(p.free[key], c)
+}
+
+// acquireGen is acquire for generator-outage contexts (bound to the
+// network only; generator views never read the base power flow).
+func (p *SweepPool) acquireGen(n *model.Network, baseY *model.Ybus) *genSweepContext {
+	p.mu.Lock()
+	if list := p.genFree[n]; len(list) > 0 {
+		c := list[len(list)-1]
+		p.genFree[n] = list[:len(list)-1]
+		p.mu.Unlock()
+		p.reuses.Add(1)
+		return c
+	}
+	p.mu.Unlock()
+	p.builds.Add(1)
+	return newGenSweepContext(n, baseY)
+}
+
+// releaseGen returns a generator-outage context to its network's free list.
+func (p *SweepPool) releaseGen(c *genSweepContext) {
+	if c == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.genFree[c.n]; !ok && len(p.genFree) >= maxPoolKeys {
+		p.genFree = make(map[*model.Network][]*genSweepContext)
+	}
+	p.genFree[c.n] = append(p.genFree[c.n], c)
+}

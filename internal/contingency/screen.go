@@ -86,9 +86,14 @@ const weakFeedShare = 0.5
 const screenedAlgorithm = "lodf-1q-screened"
 
 func newScreener(n *model.Network, base *powerflow.Result, opts Options) (*screener, error) {
-	m, err := ptdf.Build(n)
-	if err != nil {
-		return nil, err
+	// The factor matrix is purely structural; the engine shares one across
+	// sessions via Options.PTDF (its LODF memo is concurrency-safe).
+	m := opts.PTDF
+	if m == nil {
+		var err error
+		if m, err = ptdf.Build(n); err != nil {
+			return nil, err
+		}
 	}
 	s := &screener{
 		factors: m,
@@ -112,8 +117,14 @@ func newScreener(n *model.Network, base *powerflow.Result, opts Options) (*scree
 		return s, nil // screener disabled; trySecure rejects everything
 	}
 
-	// Assemble and factorize the base B'' (−Im(Ybus) over PQ buses).
-	s.y = model.BuildYbus(n)
+	// Assemble and factorize the base B'' (−Im(Ybus) over PQ buses). The
+	// screener only reads the admittance matrix (its outage updates go
+	// through the Woodbury identity), so a shared engine-provided Ybus is
+	// used as-is.
+	s.y = opts.BaseYbus
+	if s.y == nil {
+		s.y = model.BuildYbus(n)
+	}
 	hasGen := make([]bool, len(n.Buses))
 	s.qGenBase = make([]float64, len(n.Buses))
 	s.qMinBus = make([]float64, len(n.Buses))
@@ -151,8 +162,11 @@ func newScreener(n *model.Network, base *powerflow.Result, opts Options) (*scree
 			bpp.Add(s.pqPos[i], s.pqPos[j], -imag(s.y.NZv[p]))
 		}
 	}
-	if s.luBpp, err = sparse.Factorize(bpp.ToCSC(), sparse.Options{}); err != nil {
+	lu, err := sparse.Factorize(bpp.ToCSC(), sparse.Options{})
+	if err != nil {
 		s.baseSecure = false // cannot voltage-screen; disable
+	} else {
+		s.luBpp = lu
 	}
 	return s, nil
 }

@@ -1,0 +1,103 @@
+package contingency
+
+import (
+	"reflect"
+	"testing"
+
+	"gridmind/internal/cases"
+	"gridmind/internal/model"
+	"gridmind/internal/powerflow"
+)
+
+// TestAnalyzeOneSharedArtifactsMatch pins the engine-fed path (shared
+// Ybus, prebuilt topology, pooled worker context) to the bare path
+// result-for-result: supplying shared artifacts must change nothing but
+// the work done.
+func TestAnalyzeOneSharedArtifactsMatch(t *testing.T) {
+	n := cases.MustLoad("case57")
+	base, err := powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
+	if err != nil || !base.Converged {
+		t.Fatalf("base power flow: %v", err)
+	}
+	shared := Options{
+		BaseYbus: model.BuildYbus(n),
+		Topology: model.NewTopology(n),
+		Pool:     NewSweepPool(),
+		Reorder:  powerflow.NewOrderingCache(),
+	}
+	for _, k := range n.InServiceBranches() {
+		bare := AnalyzeOne(n, base, k, Options{})
+		pooled := AnalyzeOne(n, base, k, shared)
+		if !reflect.DeepEqual(bare, pooled) {
+			t.Fatalf("branch %d: shared-artifact result diverged\nbare:   %+v\npooled: %+v", k, bare, pooled)
+		}
+	}
+	if shared.Pool.ContextBuilds() != 1 {
+		t.Fatalf("pool built %d contexts across the loop, want 1", shared.Pool.ContextBuilds())
+	}
+	if shared.Pool.ContextReuses() == 0 {
+		t.Fatal("pool never recycled a context")
+	}
+}
+
+// TestAnalyzeOneSharedArtifactsZeroClones: with engine artifacts and a
+// warmed pool, a single-outage query clones and materializes nothing.
+func TestAnalyzeOneSharedArtifactsZeroClones(t *testing.T) {
+	n := cases.MustLoad("case57")
+	base, err := powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := Options{
+		BaseYbus: model.BuildYbus(n),
+		Topology: model.NewTopology(n),
+		Pool:     NewSweepPool(),
+	}
+	// Pick a non-islanding, convergent outage (the common tool query).
+	k := -1
+	for _, b := range n.InServiceBranches() {
+		if r := AnalyzeOne(n, base, b, shared); r.Converged && !r.Islanded {
+			k = b
+			break
+		}
+	}
+	if k < 0 {
+		t.Skip("no convergent outage in case57")
+	}
+	clones, mats := model.CloneCount(), model.MaterializeCount()
+	for i := 0; i < 5; i++ {
+		AnalyzeOne(n, base, k, shared)
+	}
+	if d := model.CloneCount() - clones; d != 0 {
+		t.Fatalf("pooled AnalyzeOne cloned %d times, want 0", d)
+	}
+	if d := model.MaterializeCount() - mats; d != 0 {
+		t.Fatalf("pooled AnalyzeOne materialized %d times, want 0", d)
+	}
+}
+
+// TestGenOutagePoolMatch pins the pooled generator-outage path to the
+// bare one.
+func TestGenOutagePoolMatch(t *testing.T) {
+	n := cases.MustLoad("case30")
+	shared := Options{
+		BaseYbus: model.BuildYbus(n),
+		Pool:     NewSweepPool(),
+	}
+	for g, gen := range n.Gens {
+		if !gen.InService {
+			continue
+		}
+		bare, err1 := AnalyzeGenOutage(n, g, Options{})
+		pooled, err2 := AnalyzeGenOutage(n, g, shared)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("gen %d: error divergence %v vs %v", g, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if !reflect.DeepEqual(bare, pooled) {
+			t.Fatalf("gen %d: pooled result diverged\nbare:   %+v\npooled: %+v", g, bare, pooled)
+		}
+	}
+}

@@ -73,7 +73,7 @@ func (c *sweepContext) analyze(k int, opts Options) *OutageResult {
 
 	c.view.Reset()
 	c.view.OutBranch(k)
-	pfOpts := powerflow.Options{EnforceQLimits: true, Reorder: opts.reorder}
+	pfOpts := powerflow.Options{EnforceQLimits: true, Reorder: opts.Reorder}
 	if !opts.NoWarmStart {
 		pfOpts.Warm = &c.base.Voltages
 	}
@@ -138,7 +138,7 @@ func (c *sweepContext) analyzePair(p N2Pair, opts Options) *OutageResult {
 			deficit = 0
 		}
 	}
-	pfOpts := powerflow.Options{EnforceQLimits: true, Reorder: opts.reorder}
+	pfOpts := powerflow.Options{EnforceQLimits: true, Reorder: opts.Reorder}
 	if !opts.NoWarmStart {
 		pfOpts.Warm = &c.base.Voltages
 	}

@@ -21,6 +21,7 @@ import (
 
 	"gridmind/internal/cases"
 	"gridmind/internal/contingency"
+	"gridmind/internal/engine"
 	"gridmind/internal/model"
 	"gridmind/internal/opf"
 	"gridmind/internal/powerflow"
@@ -81,6 +82,13 @@ type Context struct {
 	pristine *model.Network
 	diffs    []Modification
 
+	// netMemo is the snapshot cache: the network replayed at the current
+	// diff state, built at most once per state. Invalidated whenever the
+	// diff log or the case changes. netHits/netReplays instrument it.
+	netMemo    *model.Network
+	netHits    int64
+	netReplays int64
+
 	acopf   *Artifact[*opf.Solution]
 	basePF  *Artifact[*powerflow.Result]
 	caSweep *Artifact[*contingency.ResultSet]
@@ -88,23 +96,63 @@ type Context struct {
 	contCache  *contingency.Cache
 	provenance []Provenance
 	now        func() time.Time
+
+	// eng, when non-nil, is the shared compiled-artifact store: pristine
+	// cases come from it (one immutable copy per process) and tools route
+	// Ybus/PTDF/KKT-pattern requests through it.
+	eng *engine.Engine
 }
 
 // New returns an empty session context. nowFn supplies timestamps (pass
 // nil for time.Now; experiments inject the simulated clock).
 func New(nowFn func() time.Time) *Context {
+	return NewWithEngine(nowFn, nil)
+}
+
+// NewWithEngine returns an empty session context bound to a shared
+// artifact engine (nil behaves like New: every expensive artifact is
+// rebuilt per session).
+func NewWithEngine(nowFn func() time.Time, eng *engine.Engine) *Context {
 	if nowFn == nil {
 		nowFn = time.Now
 	}
-	return &Context{contCache: contingency.NewCache(), now: nowFn}
+	return &Context{contCache: contingency.NewCache(), now: nowFn, eng: eng}
+}
+
+// Engine returns the session's shared artifact engine (nil when unbound).
+func (c *Context) Engine() *engine.Engine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.eng
+}
+
+// AttachEngine binds a restored or legacy session to a shared artifact
+// engine. Attaching never changes session state; it only lets future tool
+// calls share compiled artifacts.
+func (c *Context) AttachEngine(eng *engine.Engine) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.eng = eng
 }
 
 // ErrNoCase reports that no network has been loaded yet.
 var ErrNoCase = errors.New("session: no case loaded")
 
-// LoadCase loads a named IEEE case, resetting diffs and artifacts.
+// LoadCase loads a named IEEE case, resetting diffs and artifacts. With an
+// engine attached the pristine network is the engine's shared immutable
+// copy (loaded once per process); replay always clones before mutating, so
+// sharing is safe. The returned network is the caller's own copy.
 func (c *Context) LoadCase(name string) (*model.Network, error) {
-	n, err := cases.Load(name)
+	c.mu.Lock()
+	eng := c.eng
+	c.mu.Unlock()
+	var n *model.Network
+	var err error
+	if eng != nil {
+		n, err = eng.Pristine(name)
+	} else {
+		n, err = cases.Load(name)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -113,6 +161,7 @@ func (c *Context) LoadCase(name string) (*model.Network, error) {
 	c.caseName = n.Name
 	c.pristine = n
 	c.diffs = nil
+	c.netMemo = nil
 	c.acopf, c.basePF, c.caSweep = nil, nil, nil
 	c.contCache.Invalidate()
 	c.addProvenanceLocked("load_case", n.Name)
@@ -126,8 +175,13 @@ func (c *Context) CaseName() string {
 	return c.caseName
 }
 
-// Network reconstructs the current network state: pristine case plus the
-// replayed diff log.
+// Network returns the current network state: pristine case plus the
+// replayed diff log. The result is the session's shared state snapshot,
+// memoized per diff state — repeated calls on an unchanged diff log
+// perform ZERO clones and zero replays. Callers must treat it as
+// read-only (every solver in the repo does; what-if edits go through
+// Apply, never through mutation). A session with no diffs returns the
+// shared pristine network itself.
 func (c *Context) Network() (*model.Network, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -138,13 +192,39 @@ func (c *Context) networkLocked() (*model.Network, error) {
 	if c.pristine == nil {
 		return nil, ErrNoCase
 	}
+	if len(c.diffs) == 0 {
+		c.netHits++
+		return c.pristine, nil
+	}
+	if c.netMemo != nil {
+		c.netHits++
+		return c.netMemo, nil
+	}
+	c.netReplays++
 	n := c.pristine.Clone()
 	for _, m := range c.diffs {
 		if err := apply(n, m); err != nil {
 			return nil, fmt.Errorf("session: replaying diff %d: %w", m.Seq, err)
 		}
 	}
+	c.netMemo = n
 	return n, nil
+}
+
+// DropSnapshot discards the memoized network snapshot, forcing the next
+// Network() call to replay the diff log. Benchmarks use it to price the
+// replay path the snapshot cache avoids; production callers never need it.
+func (c *Context) DropSnapshot() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.netMemo = nil
+}
+
+// NetworkStats reports the snapshot cache's hit/replay counters.
+func (c *Context) NetworkStats() (hits, replays int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.netHits, c.netReplays
 }
 
 // apply executes one modification on a network.
@@ -221,6 +301,10 @@ func (c *Context) Apply(m Modification) error {
 		return fmt.Errorf("session: modification leaves invalid network: %w", err)
 	}
 	c.diffs = trial
+	// The dry run just replayed the new state in full; keep it as the
+	// snapshot, so the tool call that triggered the modification pays no
+	// second replay.
+	c.netMemo = n
 	c.addProvenanceLocked("apply_modification", string(m.Kind)+": "+m.Note)
 	return nil
 }
@@ -369,11 +453,17 @@ func (c *Context) Persist(w io.Writer) error {
 // Restore loads a persisted session, reconstructing the pristine case
 // from the embedded library and replaying the diff log.
 func Restore(r io.Reader, nowFn func() time.Time) (*Context, error) {
+	return RestoreWithEngine(r, nowFn, nil)
+}
+
+// RestoreWithEngine is Restore with a shared artifact engine bound to the
+// reconstructed session.
+func RestoreWithEngine(r io.Reader, nowFn func() time.Time, eng *engine.Engine) (*Context, error) {
 	var p persisted
 	if err := json.NewDecoder(r).Decode(&p); err != nil {
 		return nil, fmt.Errorf("session: restore: %w", err)
 	}
-	c := New(nowFn)
+	c := NewWithEngine(nowFn, eng)
 	if p.CaseName != "" {
 		if _, err := c.LoadCase(p.CaseName); err != nil {
 			return nil, err
@@ -382,6 +472,7 @@ func Restore(r io.Reader, nowFn func() time.Time) (*Context, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.diffs = p.Diffs
+	c.netMemo = nil
 	c.acopf = p.ACOPF
 	c.caSweep = p.CASweep
 	c.provenance = p.Provenance

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"gridmind/internal/contingency"
+	"gridmind/internal/engine"
 	"gridmind/internal/opf"
 	"gridmind/internal/schema"
 	"gridmind/internal/scopf"
@@ -39,28 +40,28 @@ func ExtendedCAToolNames() []string {
 }
 
 // RegisterExtensions adds the extension tools to a registry bound to the
-// same session.
-func RegisterExtensions(r *Registry, ctx *session.Context) error {
-	if err := r.Register(loadSensitivityTool(ctx)); err != nil {
+// same session and shared artifact engine (nil eng disables sharing).
+func RegisterExtensions(r *Registry, ctx *session.Context, eng *engine.Engine) error {
+	if err := r.Register(loadSensitivityTool(ctx, eng)); err != nil {
 		return err
 	}
-	if err := r.Register(compareStrategyTool(ctx)); err != nil {
+	if err := r.Register(compareStrategyTool(ctx, eng)); err != nil {
 		return err
 	}
-	if err := r.Register(genOutageTool(ctx)); err != nil {
+	if err := r.Register(genOutageTool(ctx, eng)); err != nil {
 		return err
 	}
-	if err := r.Register(runN2Tool(ctx)); err != nil {
+	if err := r.Register(runN2Tool(ctx, eng)); err != nil {
 		return err
 	}
-	return r.Register(assessQualityTool(ctx))
+	return r.Register(assessQualityTool(ctx, eng))
 }
 
 // runN2Tool exposes the N-2 screening pipeline to the reliability (CA)
 // agent: candidate double outages are seeded from the session's N-1 sweep
 // (run on demand), DC pre-screened via the LODF pair composition, and the
 // survivors AC-verified on the zero-clone view path.
-func runN2Tool(ctx *session.Context) *Tool {
+func runN2Tool(ctx *session.Context, eng *engine.Engine) *Tool {
 	return &Tool{
 		Name: ToolRunN2,
 		Description: "Run N-2 (double outage) contingency screening: seed candidate branch pairs from the " +
@@ -84,7 +85,7 @@ func runN2Tool(ctx *session.Context) *Tool {
 			if v, ok := args["top_k"].(float64); ok {
 				topK = int(v)
 			}
-			n1, base, err := ensureCASweep(ctx)
+			n1, base, err := ensureCASweep(ctx, eng)
 			if err != nil {
 				return nil, err
 			}
@@ -92,10 +93,9 @@ func runN2Tool(ctx *session.Context) *Tool {
 			if err != nil {
 				return nil, err
 			}
-			n2opts := contingency.N2Options{Options: contingency.Options{
-				Cache:          ctx.ContCache(),
-				CacheKeyPrefix: ctx.DiffHash(),
-			}}
+			// The pair pre-screen rides the shared PTDF/LODF memo, so every
+			// session's N-2 screening reuses columns any session touched.
+			n2opts := contingency.N2Options{Options: sharedOpts(ctx, eng, n, true)}
 			if v, ok := args["seed_k"].(float64); ok {
 				n2opts.TopK = int(v)
 			}
@@ -145,7 +145,7 @@ func runN2Tool(ctx *session.Context) *Tool {
 	}
 }
 
-func assessQualityTool(ctx *session.Context) *Tool {
+func assessQualityTool(ctx *session.Context, eng *engine.Engine) *Tool {
 	return &Tool{
 		Name: ToolAssessQuality,
 		Description: "Score the current ACOPF solution on the 0-10 quality rubric (convergence, constraint " +
@@ -159,7 +159,7 @@ func assessQualityTool(ctx *session.Context) *Tool {
 			if err != nil {
 				return nil, err
 			}
-			sol, err := ensureSolved(ctx)
+			sol, err := ensureSolved(ctx, eng)
 			if err != nil {
 				return nil, err
 			}
@@ -178,7 +178,7 @@ func assessQualityTool(ctx *session.Context) *Tool {
 	}
 }
 
-func genOutageTool(ctx *session.Context) *Tool {
+func genOutageTool(ctx *session.Context, eng *engine.Engine) *Tool {
 	return &Tool{
 		Name: ToolGenOutage,
 		Description: "Analyze the loss of a generator: the lost dispatch is picked up by the remaining " +
@@ -205,7 +205,7 @@ func genOutageTool(ctx *session.Context) *Tool {
 			if len(gens) == 0 {
 				return nil, fmt.Errorf("no in-service generator at bus %d", busID)
 			}
-			out, err := contingency.AnalyzeGenOutage(n, gens[0], contingency.Options{})
+			out, err := contingency.AnalyzeGenOutage(n, gens[0], sharedOpts(ctx, eng, n, false))
 			if err != nil {
 				return nil, err
 			}
@@ -228,11 +228,11 @@ func genOutageTool(ctx *session.Context) *Tool {
 }
 
 // ensureSolved returns a fresh ACOPF solution, solving if necessary.
-func ensureSolved(ctx *session.Context) (*opf.Solution, error) {
+func ensureSolved(ctx *session.Context, eng *engine.Engine) (*opf.Solution, error) {
 	if sol, fresh := ctx.ACOPF(); fresh && sol.Solved {
 		return sol, nil
 	}
-	sol, _, err := solveWithRecovery(ctx)
+	sol, _, err := solveWithRecovery(ctx, eng)
 	if err != nil {
 		return nil, err
 	}
@@ -240,7 +240,7 @@ func ensureSolved(ctx *session.Context) (*opf.Solution, error) {
 	return sol, nil
 }
 
-func loadSensitivityTool(ctx *session.Context) *Tool {
+func loadSensitivityTool(ctx *session.Context, eng *engine.Engine) *Tool {
 	return &Tool{
 		Name: ToolLoadSensitivity,
 		Description: "Assess the economic impact of incremental load at specific buses: first-order LMP " +
@@ -259,7 +259,7 @@ func loadSensitivityTool(ctx *session.Context) *Tool {
 			if err != nil {
 				return nil, err
 			}
-			base, err := ensureSolved(ctx)
+			base, err := ensureSolved(ctx, eng)
 			if err != nil {
 				return nil, err
 			}
@@ -316,7 +316,7 @@ func loadSensitivityTool(ctx *session.Context) *Tool {
 	}
 }
 
-func compareStrategyTool(ctx *session.Context) *Tool {
+func compareStrategyTool(ctx *session.Context, eng *engine.Engine) *Tool {
 	return &Tool{
 		Name: ToolCompareStrategy,
 		Description: "Compare economic (unconstrained ACOPF) against security-constrained operation " +
@@ -338,7 +338,18 @@ func compareStrategyTool(ctx *session.Context) *Tool {
 			if v, ok := args["max_rounds"].(float64); ok {
 				rounds = int(v)
 			}
-			cmp, err := scopf.Compare(n, scopf.Options{Screen: true, MaxRounds: rounds})
+			// The SCOPF loop re-solves the same structure many times; hand it
+			// a pooled KKT context so even the FIRST round of a new session
+			// skips pattern compilation when any session solved this
+			// structure before.
+			sopts := scopf.Options{Screen: true, MaxRounds: rounds}
+			if eng != nil {
+				sig := eng.Artifacts(n).Sig
+				kkt := eng.AcquireOPF(sig)
+				defer eng.ReleaseOPF(sig, kkt)
+				sopts.OPF.Context = kkt
+			}
+			cmp, err := scopf.Compare(n, sopts)
 			if err != nil {
 				return nil, err
 			}

@@ -3,14 +3,16 @@ package tools
 import (
 	"testing"
 
+	"gridmind/internal/engine"
 	"gridmind/internal/session"
 )
 
 func extendedRegistry(t *testing.T) (*Registry, *session.Context) {
 	t.Helper()
 	sess := session.New(nil)
-	r := NewGridMind(sess)
-	if err := RegisterExtensions(r, sess); err != nil {
+	eng := engine.New()
+	r := NewGridMind(sess, eng)
+	if err := RegisterExtensions(r, sess, eng); err != nil {
 		t.Fatal(err)
 	}
 	return r, sess

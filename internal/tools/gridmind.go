@@ -7,6 +7,8 @@ import (
 
 	"gridmind/internal/cases"
 	"gridmind/internal/contingency"
+	"gridmind/internal/engine"
+	"gridmind/internal/model"
 	"gridmind/internal/opf"
 	"gridmind/internal/powerflow"
 	"gridmind/internal/schema"
@@ -34,22 +36,47 @@ func CAToolNames() []string {
 	return []string{ToolSolveBaseCase, ToolRunN1, ToolAnalyzeOutage, ToolContStatus}
 }
 
-// NewGridMind builds the full registry bound to a session context.
-func NewGridMind(ctx *session.Context) *Registry {
+// NewGridMind builds the full registry bound to a session context and a
+// shared artifact engine (nil eng disables artifact sharing: every tool
+// call rebuilds what it needs, the pre-engine behavior).
+func NewGridMind(ctx *session.Context, eng *engine.Engine) *Registry {
 	r := NewRegistry()
 	mustRegister := func(t *Tool) {
 		if err := r.Register(t); err != nil {
 			panic(err) // registration is static; failure is a programming error
 		}
 	}
-	mustRegister(solveACOPFTool(ctx))
-	mustRegister(modifyBusLoadTool(ctx))
+	mustRegister(solveACOPFTool(ctx, eng))
+	mustRegister(modifyBusLoadTool(ctx, eng))
 	mustRegister(networkStatusTool(ctx))
-	mustRegister(solveBaseCaseTool(ctx))
-	mustRegister(runN1Tool(ctx))
-	mustRegister(analyzeOutageTool(ctx))
+	mustRegister(solveBaseCaseTool(ctx, eng))
+	mustRegister(runN1Tool(ctx, eng))
+	mustRegister(analyzeOutageTool(ctx, eng))
 	mustRegister(contStatusTool(ctx))
 	return r
+}
+
+// sharedOpts assembles contingency Options from the engine's shared
+// structural artifacts (base Ybus, topology, ordering cache, the
+// state-keyed worker-context pool, and — when the caller will DC-screen —
+// the PTDF factors). With a nil engine it returns cache-only options, the
+// pre-engine behavior.
+func sharedOpts(ctx *session.Context, eng *engine.Engine, n *model.Network, withPTDF bool) contingency.Options {
+	opts := contingency.Options{Cache: ctx.ContCache(), CacheKeyPrefix: ctx.DiffHash()}
+	if eng == nil {
+		return opts
+	}
+	a := eng.Artifacts(n)
+	opts.BaseYbus = a.Ybus()
+	opts.Topology = a.Topology()
+	opts.Reorder = a.Ordering()
+	opts.Pool = eng.SweepPool(ctx.DiffHash())
+	if withPTDF {
+		if m, err := a.PTDF(); err == nil {
+			opts.PTDF = m
+		}
+	}
+	return opts
 }
 
 // solutionSummary condenses an opf.Solution into the structured record
@@ -103,18 +130,27 @@ var solutionOutputSchema = schema.Obj("ACOPF solution summary", map[string]*sche
 }, "case_name", "solved", "objective_cost", "max_mismatch_pu").WithExtra()
 
 // solveWithRecovery is the §3.2.1 automatic recovery path: primary IPM,
-// then relaxed tolerances, then the dispatch fallback.
-func solveWithRecovery(ctx *session.Context) (*opf.Solution, bool, error) {
+// then relaxed tolerances, then the dispatch fallback. With an engine, the
+// interior-point solver context (compiled KKT pattern + LU symbolic
+// analysis) is checked out of the structure's shared pool, so every
+// session's solve after the process's first skips pattern compilation.
+func solveWithRecovery(ctx *session.Context, eng *engine.Engine) (*opf.Solution, bool, error) {
 	n, err := ctx.Network()
 	if err != nil {
 		return nil, false, err
 	}
-	sol, err := opf.SolveACOPF(n, opf.Options{})
+	var kkt *opf.Context
+	if eng != nil {
+		sig := eng.Artifacts(n).Sig
+		kkt = eng.AcquireOPF(sig)
+		defer eng.ReleaseOPF(sig, kkt)
+	}
+	sol, err := opf.SolveACOPF(n, opf.Options{Context: kkt})
 	if err == nil && sol.MaxMismatchPU < 1e-4 {
 		return sol, false, nil
 	}
 	// Recovery 1: relaxed tolerances buy convergence on stiff cases.
-	sol, err = opf.SolveACOPF(n, opf.Options{FeasTol: 1e-5, GradTol: 1e-4, CompTol: 1e-5, CostTol: 1e-5, MaxIter: 300})
+	sol, err = opf.SolveACOPF(n, opf.Options{FeasTol: 1e-5, GradTol: 1e-4, CompTol: 1e-5, CostTol: 1e-5, MaxIter: 300, Context: kkt})
 	if err == nil && sol.MaxMismatchPU < 1e-4 {
 		ctx.AddProvenance("recovery", "acopf solved with relaxed tolerances")
 		return sol, true, nil
@@ -128,7 +164,7 @@ func solveWithRecovery(ctx *session.Context) (*opf.Solution, bool, error) {
 	return sol, true, nil
 }
 
-func solveACOPFTool(ctx *session.Context) *Tool {
+func solveACOPFTool(ctx *session.Context, eng *engine.Engine) *Tool {
 	return &Tool{
 		Name: ToolSolveACOPF,
 		Description: "Load an IEEE test case (14, 30, 57, 118 or 300 bus) and solve its AC optimal power flow. " +
@@ -148,7 +184,7 @@ func solveACOPFTool(ctx *session.Context) *Tool {
 					return nil, err
 				}
 			}
-			sol, recovered, err := solveWithRecovery(ctx)
+			sol, recovered, err := solveWithRecovery(ctx, eng)
 			if err != nil {
 				return nil, err
 			}
@@ -158,7 +194,7 @@ func solveACOPFTool(ctx *session.Context) *Tool {
 	}
 }
 
-func modifyBusLoadTool(ctx *session.Context) *Tool {
+func modifyBusLoadTool(ctx *session.Context, eng *engine.Engine) *Tool {
 	return &Tool{
 		Name: ToolModifyBusLoad,
 		Description: "Set the load at a bus to the given MW (and optional MVAr) and re-solve the ACOPF. " +
@@ -197,7 +233,7 @@ func modifyBusLoadTool(ctx *session.Context) *Tool {
 			}); err != nil {
 				return nil, err
 			}
-			sol, recovered, err := solveWithRecovery(ctx)
+			sol, recovered, err := solveWithRecovery(ctx, eng)
 			if err != nil {
 				return nil, err
 			}
@@ -270,7 +306,7 @@ func networkStatusTool(ctx *session.Context) *Tool {
 	}
 }
 
-func solveBaseCaseTool(ctx *session.Context) *Tool {
+func solveBaseCaseTool(ctx *session.Context, eng *engine.Engine) *Tool {
 	return &Tool{
 		Name: ToolSolveBaseCase,
 		Description: "Solve the pre-contingency base-case power flow (loading the named case first if given). " +
@@ -296,15 +332,14 @@ func solveBaseCaseTool(ctx *session.Context) *Tool {
 					}
 				}
 			}
+			res, err := ensureBase(ctx, eng)
+			if err != nil {
+				return nil, err
+			}
 			n, err := ctx.Network()
 			if err != nil {
 				return nil, err
 			}
-			res, err := powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
-			if err != nil {
-				return nil, err
-			}
-			ctx.SetBasePF(res)
 			maxLoad := 0.0
 			for _, f := range res.Flows {
 				maxLoad = math.Max(maxLoad, f.LoadingPct)
@@ -326,8 +361,8 @@ func solveBaseCaseTool(ctx *session.Context) *Tool {
 // from) for the current network state, running one under the session cache
 // if needed. The single helper keeps every sweep-consuming tool on
 // identical sweep options.
-func ensureCASweep(ctx *session.Context) (*contingency.ResultSet, *powerflow.Result, error) {
-	base, err := ensureBase(ctx)
+func ensureCASweep(ctx *session.Context, eng *engine.Engine) (*contingency.ResultSet, *powerflow.Result, error) {
+	base, err := ensureBase(ctx, eng)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -338,10 +373,7 @@ func ensureCASweep(ctx *session.Context) (*contingency.ResultSet, *powerflow.Res
 	if err != nil {
 		return nil, nil, err
 	}
-	rs, err := contingency.Analyze(n, base, contingency.Options{
-		Cache:          ctx.ContCache(),
-		CacheKeyPrefix: ctx.DiffHash(),
-	})
+	rs, err := contingency.Analyze(n, base, sharedOpts(ctx, eng, n, false))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -350,7 +382,9 @@ func ensureCASweep(ctx *session.Context) (*contingency.ResultSet, *powerflow.Res
 }
 
 // ensureBase returns a fresh base power flow, computing one if needed.
-func ensureBase(ctx *session.Context) (*powerflow.Result, error) {
+// With an engine, the solve itself is memoized per session state, so N
+// sessions at the same state pay for one solve.
+func ensureBase(ctx *session.Context, eng *engine.Engine) (*powerflow.Result, error) {
 	if base, fresh := ctx.BasePF(); fresh && base.Converged {
 		return base, nil
 	}
@@ -358,7 +392,12 @@ func ensureBase(ctx *session.Context) (*powerflow.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
+	var res *powerflow.Result
+	if eng != nil {
+		res, err = eng.BasePF(ctx.DiffHash(), n)
+	} else {
+		res, err = powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
+	}
 	if err != nil {
 		return nil, fmt.Errorf("base case power flow failed: %w", err)
 	}
@@ -366,7 +405,7 @@ func ensureBase(ctx *session.Context) (*powerflow.Result, error) {
 	return res, nil
 }
 
-func runN1Tool(ctx *session.Context) *Tool {
+func runN1Tool(ctx *session.Context, eng *engine.Engine) *Tool {
 	return &Tool{
 		Name: ToolRunN1,
 		Description: "Run the full N-1 contingency sweep over every in-service branch, rank outages by " +
@@ -391,7 +430,7 @@ func runN1Tool(ctx *session.Context) *Tool {
 			if s, ok := args["strategy"].(string); ok && s == "thermal-first" {
 				strategy = contingency.ThermalFirst
 			}
-			rs, _, err := ensureCASweep(ctx)
+			rs, _, err := ensureCASweep(ctx, eng)
 			if err != nil {
 				return nil, err
 			}
@@ -443,7 +482,7 @@ func runN1Tool(ctx *session.Context) *Tool {
 	}
 }
 
-func analyzeOutageTool(ctx *session.Context) *Tool {
+func analyzeOutageTool(ctx *session.Context, eng *engine.Engine) *Tool {
 	return &Tool{
 		Name: ToolAnalyzeOutage,
 		Description: "Analyze the outage of one specific branch (line or transformer) and report violations, " +
@@ -459,7 +498,7 @@ func analyzeOutageTool(ctx *session.Context) *Tool {
 			"severity": schema.Num("criticality score"),
 		}, "branch", "severity").WithExtra(),
 		Fn: func(args map[string]any) (any, error) {
-			base, err := ensureBase(ctx)
+			base, err := ensureBase(ctx, eng)
 			if err != nil {
 				return nil, err
 			}
@@ -497,7 +536,7 @@ func analyzeOutageTool(ctx *session.Context) *Tool {
 			if !n.Branches[k].InService {
 				return nil, fmt.Errorf("branch %d is already out of service", k)
 			}
-			opts := contingency.Options{Cache: ctx.ContCache(), CacheKeyPrefix: ctx.DiffHash()}
+			opts := sharedOpts(ctx, eng, n, false)
 			var o *contingency.OutageResult
 			if hit, ok := ctx.ContCache().Get(contingency.Key(ctx.DiffHash(), n.Name, k)); ok {
 				o = hit

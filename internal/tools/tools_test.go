@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"gridmind/internal/engine"
 	"gridmind/internal/schema"
 	"gridmind/internal/session"
 )
@@ -92,7 +93,7 @@ func TestInvokeValidatesOutput(t *testing.T) {
 }
 
 func TestGridMindRegistryComplete(t *testing.T) {
-	r := NewGridMind(newSession(t))
+	r := NewGridMind(newSession(t), engine.New())
 	want := append(ACOPFToolNames(), CAToolNames()...)
 	for _, name := range want {
 		if _, ok := r.Get(name); !ok {
@@ -106,7 +107,7 @@ func TestGridMindRegistryComplete(t *testing.T) {
 
 func TestSolveACOPFTool(t *testing.T) {
 	sess := newSession(t)
-	r := NewGridMind(sess)
+	r := NewGridMind(sess, engine.New())
 	out, err := r.Invoke(ToolSolveACOPF, map[string]any{"case_name": "IEEE 14"})
 	if err != nil {
 		t.Fatal(err)
@@ -134,7 +135,7 @@ func TestSolveACOPFTool(t *testing.T) {
 
 func TestModifyBusLoadTool(t *testing.T) {
 	sess := newSession(t)
-	r := NewGridMind(sess)
+	r := NewGridMind(sess, engine.New())
 	if _, err := r.Invoke(ToolSolveACOPF, map[string]any{"case_name": "case14"}); err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestModifyBusLoadTool(t *testing.T) {
 
 func TestNetworkStatusTool(t *testing.T) {
 	sess := newSession(t)
-	r := NewGridMind(sess)
+	r := NewGridMind(sess, engine.New())
 	out, err := r.Invoke(ToolNetworkStatus, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -191,7 +192,7 @@ func TestNetworkStatusTool(t *testing.T) {
 
 func TestContingencyToolsFlow(t *testing.T) {
 	sess := newSession(t)
-	r := NewGridMind(sess)
+	r := NewGridMind(sess, engine.New())
 	out, err := r.Invoke(ToolSolveBaseCase, map[string]any{"case_name": "case30"})
 	if err != nil {
 		t.Fatal(err)
@@ -235,7 +236,7 @@ func TestContingencyToolsFlow(t *testing.T) {
 
 func TestRunN1StrategyChangesRanking(t *testing.T) {
 	sess := newSession(t)
-	r := NewGridMind(sess)
+	r := NewGridMind(sess, engine.New())
 	if _, err := r.Invoke(ToolSolveBaseCase, map[string]any{"case_name": "case118"}); err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +278,7 @@ func TestRunN1StrategyChangesRanking(t *testing.T) {
 }
 
 func TestAnalyzeOutageErrors(t *testing.T) {
-	r := NewGridMind(newSession(t))
+	r := NewGridMind(newSession(t), engine.New())
 	if _, err := r.Invoke(ToolSolveBaseCase, map[string]any{"case_name": "case14"}); err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +301,7 @@ func TestAnalyzeOutageErrors(t *testing.T) {
 }
 
 func TestToolCallStats(t *testing.T) {
-	r := NewGridMind(newSession(t))
+	r := NewGridMind(newSession(t), engine.New())
 	_, _ = r.Invoke(ToolSolveACOPF, map[string]any{"case_name": "case14"})
 	_, _ = r.Invoke(ToolNetworkStatus, nil)
 	calls, _ := r.Stats()

@@ -271,7 +271,7 @@ func BenchmarkSensitivityProbes(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sensitivity.LoadImpacts(n, base, []int{7, 21, 30}, 2); err != nil {
+		if _, err := sensitivity.LoadImpacts(n, base, []int{7, 21, 30}, 2, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

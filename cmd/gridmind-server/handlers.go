@@ -1,14 +1,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"gridmind"
+	"gridmind/internal/llm"
 )
 
 // server bundles the HTTP surface: the session manager, the shared
@@ -25,7 +29,22 @@ type server struct {
 	sim   http.Handler
 	// maxBody bounds /ask and /sessions request bodies in bytes.
 	maxBody int64
+	// gw, when non-nil, is the shared resilient LLM gateway every session
+	// rides; its per-deployment counters are exported on /metrics.
+	gw *gridmind.Gateway
+	// maxQueue bounds in-flight asks on the default session (managed
+	// sessions enforce theirs in the manager); 0 = unbounded.
+	maxQueue int
+	defBusy  atomic.Int64
 }
+
+// Retry-After hints, in seconds. A full queue drains as soon as the
+// current solve finishes; an all-breakers-open outage waits out a breaker
+// cooldown.
+const (
+	retryAfterQueueFull   = 1
+	retryAfterUnavailable = 15
+)
 
 // writeJSON writes a JSON response with status.
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -40,16 +59,34 @@ func writeErr(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
 }
 
-// errStatus maps session-manager errors onto HTTP statuses.
+// errStatus maps session-manager and backend errors onto HTTP statuses.
 func errStatus(err error) int {
 	switch {
 	case errors.Is(err, errSessionNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, errAtCapacity):
 		return http.StatusConflict
+	case errors.Is(err, errQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, llm.ErrUnavailable):
+		// Every gateway deployment's breaker is open: a temporary outage,
+		// not a failed conversation — the session stays usable.
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// retryAfter returns the Retry-After hint in seconds for a status that
+// warrants one, or 0.
+func retryAfter(status int) int {
+	switch status {
+	case http.StatusTooManyRequests:
+		return retryAfterQueueFull
+	case http.StatusServiceUnavailable:
+		return retryAfterUnavailable
+	}
+	return 0
 }
 
 // decodeBody JSON-decodes a size-limited request body, distinguishing
@@ -105,12 +142,14 @@ func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	if in.SessionID != "" {
 		ex, err = s.mgr.ask(r.Context(), in.SessionID, in.Query)
 	} else {
-		s.defMu.Lock()
-		ex, err = s.def.Ask(r.Context(), in.Query)
-		s.defMu.Unlock()
+		ex, err = s.askDefault(r.Context(), in.Query)
 	}
 	if err != nil {
-		writeErr(w, errStatus(err), err.Error())
+		status := errStatus(err)
+		if ra := retryAfter(status); ra > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(ra))
+		}
+		writeErr(w, status, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -121,6 +160,19 @@ func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		"latency_s":  ex.Latency.Seconds(),
 		"workflow":   ex.Steps,
 	})
+}
+
+// askDefault routes a session-less ask into the shared default session,
+// applying the same in-flight bound managed sessions get.
+func (s *server) askDefault(ctx context.Context, query string) (*gridmind.Exchange, error) {
+	if s.maxQueue > 0 && s.defBusy.Add(1) > int64(s.maxQueue) {
+		s.defBusy.Add(-1)
+		return nil, errQueueFull
+	}
+	defer s.defBusy.Add(-1)
+	s.defMu.Lock()
+	defer s.defMu.Unlock()
+	return s.def.Ask(ctx, query)
 }
 
 // handleSessions creates (POST) or lists (GET) sessions.
@@ -216,4 +268,17 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# engine_opf_context_reuses %d\n# engine_opf_context_creates %d\n", st.OPFReuses, st.OPFCreates)
 	fmt.Fprintf(w, "# engine_sweep_pool_hits %d\n# engine_sweep_pool_new %d\n", st.SweepPoolHits, st.SweepPoolNew)
 	fmt.Fprintf(w, "# engine_base_pf_hits %d\n# engine_base_pf_solves %d\n", st.BasePFHits, st.BasePFSolves)
+
+	if s.gw != nil {
+		gs := s.gw.Stats()
+		fmt.Fprintf(w, "# gateway_requests %d\n# gateway_succeeded %d\n# gateway_failed %d\n",
+			gs.Requests, gs.Succeeded, gs.Failed)
+		fmt.Fprintf(w, "# gateway_retries %d\n# gateway_exhausted %d\n", gs.Retries, gs.Exhausted)
+		for _, d := range gs.Deployments {
+			fmt.Fprintf(w, "# gateway_deployment %s state=%s attempts=%d successes=%d failures=%d timeouts=%d probes=%d breaker_opens=%d breaker_closes=%d mean_latency_ms=%.1f\n",
+				d.Name, d.State, d.Attempts, d.Successes, d.Failures, d.Timeouts,
+				d.Probes, d.BreakerOpens, d.BreakerCloses,
+				float64(d.MeanLatency.Microseconds())/1000)
+		}
+	}
 }

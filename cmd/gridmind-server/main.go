@@ -29,6 +29,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -41,27 +43,48 @@ func main() {
 	modelName := flag.String("model", gridmind.ModelGPTO3, "simulated model profile for the default session")
 	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "idle session expiry (0 disables)")
 	maxSessions := flag.Int("max-sessions", 1024, "live session cap (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 8, "in-flight ask cap per session; overflow gets 429 + Retry-After (0 = unbounded)")
 	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
+	gatewaySpec := flag.String("gateway", "",
+		`comma-separated LLM deployments "name=model-or-URL[@weight]"; when set, all sessions ride one resilient gateway (e.g. "primary=https://host/v1/chat/completions@3,backup=gpt-5-mini")`)
+	gatewayStrategy := flag.String("gateway-strategy", "priority", "gateway routing: priority, round-robin, least-latency or weighted")
+	gatewayHealth := flag.Duration("gateway-health", 30*time.Second, "gateway background health-probe interval (0 disables)")
 	flag.Parse()
 	if err := gridmind.ValidateModel(*modelName); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
+	var gw *gridmind.Gateway
+	if *gatewaySpec != "" {
+		var err error
+		gw, err = buildGateway(*gatewaySpec, *gatewayStrategy, *gatewayHealth)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer gw.Close()
+	}
+
 	eng := gridmind.NewEngine()
 	factory := func(model string) *gridmind.GridMind {
+		if gw != nil {
+			return gridmind.New(gridmind.Options{Model: model, Client: gw, Engine: eng})
+		}
 		return gridmind.New(gridmind.Options{Model: model, Engine: eng})
 	}
-	mgr := newSessionManager(factory, *sessionTTL, *maxSessions)
+	mgr := newSessionManager(factory, *sessionTTL, *maxSessions, *maxQueue)
 	defer mgr.close()
 
 	profile, _ := llm.ProfileByName(*modelName)
 	srv := &server{
-		mgr:     mgr,
-		eng:     eng,
-		def:     factory(*modelName),
-		sim:     llm.Handler(llm.NewSim(profile)),
-		maxBody: *maxBody,
+		mgr:      mgr,
+		eng:      eng,
+		def:      factory(*modelName),
+		sim:      llm.Handler(llm.NewSim(profile)),
+		maxBody:  *maxBody,
+		gw:       gw,
+		maxQueue: *maxQueue,
 	}
 
 	httpSrv := &http.Server{
@@ -92,4 +115,50 @@ func main() {
 			log.Printf("gridmind-server: forced shutdown: %v", err)
 		}
 	}
+}
+
+// buildGateway parses the -gateway deployment list. Each entry is
+// "name=model-or-URL[@weight]": an http(s) URL becomes a chat-completions
+// deployment, a model name becomes a simulated one. List order sets
+// priority (first = most preferred).
+func buildGateway(spec, strategy string, health time.Duration) (*gridmind.Gateway, error) {
+	var deps []gridmind.GatewayDeployment
+	for i, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, target, ok := strings.Cut(item, "=")
+		if !ok || name == "" || target == "" {
+			return nil, fmt.Errorf("-gateway: entry %q is not name=model-or-URL[@weight]", item)
+		}
+		weight := 1
+		if base, w, ok := strings.Cut(target, "@"); ok {
+			n, err := strconv.Atoi(w)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("-gateway: entry %q has a bad weight %q", item, w)
+			}
+			target, weight = base, n
+		}
+		var client gridmind.Client
+		if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+			client = gridmind.NewHTTPClient(target, name)
+		} else {
+			var err error
+			if client, err = gridmind.NewSimClient(target); err != nil {
+				return nil, fmt.Errorf("-gateway: entry %q: %w", item, err)
+			}
+		}
+		deps = append(deps, gridmind.GatewayDeployment{
+			Name: name, Client: client, Weight: weight, Priority: i,
+		})
+	}
+	if len(deps) == 0 {
+		return nil, errors.New("-gateway: no deployments in spec")
+	}
+	return gridmind.NewGateway(deps, gridmind.GatewayConfig{
+		Name:     "gridmind-server",
+		Strategy: gridmind.GatewayStrategy(strategy),
+		Health:   gridmind.GatewayHealthConfig{Interval: health},
+	})
 }

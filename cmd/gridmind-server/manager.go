@@ -17,6 +17,7 @@ import (
 var (
 	errSessionNotFound = errors.New("session not found (expired or never created)")
 	errAtCapacity      = errors.New("session limit reached; retry after idle sessions expire")
+	errQueueFull       = errors.New("session ask queue full; retry shortly")
 )
 
 // managedSession is one live conversational session. Asks within a
@@ -40,6 +41,11 @@ type sessionManager struct {
 	factory     func(model string) *gridmind.GridMind
 	idleTTL     time.Duration
 	maxSessions int
+	// maxQueue bounds in-flight asks per session (in-flight = running plus
+	// queued behind the session lock); 0 = unbounded. Without a bound, one
+	// hot session accumulates goroutines without limit — each waiting ask
+	// is a parked goroutine plus an open connection.
+	maxQueue int
 
 	mu       sync.Mutex
 	sessions map[string]*managedSession
@@ -50,11 +56,12 @@ type sessionManager struct {
 }
 
 // newSessionManager starts a manager and its idle-expiry janitor.
-func newSessionManager(factory func(string) *gridmind.GridMind, idleTTL time.Duration, maxSessions int) *sessionManager {
+func newSessionManager(factory func(string) *gridmind.GridMind, idleTTL time.Duration, maxSessions, maxQueue int) *sessionManager {
 	m := &sessionManager{
 		factory:     factory,
 		idleTTL:     idleTTL,
 		maxSessions: maxSessions,
+		maxQueue:    maxQueue,
 		sessions:    make(map[string]*managedSession),
 		now:         time.Now,
 		stop:        make(chan struct{}),
@@ -164,6 +171,12 @@ func (m *sessionManager) ask(ctx context.Context, id, query string) (*gridmind.E
 	if !ok {
 		m.mu.Unlock()
 		return nil, errSessionNotFound
+	}
+	if m.maxQueue > 0 && s.busy >= m.maxQueue {
+		// The hot-session pileup guard: shed load with a 429 instead of
+		// parking an unbounded line of goroutines behind the session lock.
+		m.mu.Unlock()
+		return nil, errQueueFull
 	}
 	s.busy++
 	s.lastUsed = m.now()

@@ -2,36 +2,50 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"gridmind"
 	"gridmind/internal/llm"
+	"gridmind/internal/llm/gateway"
 )
 
 // newTestServer assembles a server exactly like main does, with a small
 // body cap so the 413 path is testable.
 func newTestServer(t *testing.T, maxSessions int) (*server, *httptest.Server) {
+	return newTestServerQueue(t, maxSessions, 8, nil)
+}
+
+// newTestServerQueue is newTestServer with an explicit per-session queue
+// cap and an optional shared gateway riding under every session.
+func newTestServerQueue(t *testing.T, maxSessions, maxQueue int, gw *gridmind.Gateway) (*server, *httptest.Server) {
 	t.Helper()
 	eng := gridmind.NewEngine()
 	factory := func(model string) *gridmind.GridMind {
+		if gw != nil {
+			return gridmind.New(gridmind.Options{Model: model, Client: gw, Engine: eng})
+		}
 		return gridmind.New(gridmind.Options{Model: model, Engine: eng})
 	}
-	mgr := newSessionManager(factory, time.Hour, maxSessions)
+	mgr := newSessionManager(factory, time.Hour, maxSessions, maxQueue)
 	t.Cleanup(mgr.close)
 	profile, _ := llm.ProfileByName(gridmind.ModelGPTO3)
 	s := &server{
-		mgr:     mgr,
-		eng:     eng,
-		def:     factory(gridmind.ModelGPTO3),
-		sim:     llm.Handler(llm.NewSim(profile)),
-		maxBody: 4096,
+		mgr:      mgr,
+		eng:      eng,
+		def:      factory(gridmind.ModelGPTO3),
+		sim:      llm.Handler(llm.NewSim(profile)),
+		maxBody:  4096,
+		gw:       gw,
+		maxQueue: maxQueue,
 	}
 	ts := httptest.NewServer(s.routes())
 	t.Cleanup(ts.Close)
@@ -316,5 +330,203 @@ func TestConcurrentSessionsOneCase(t *testing.T) {
 	}
 	if st.OPFCreates+st.OPFReuses < K {
 		t.Fatalf("KKT pool under-used: creates=%d reuses=%d across %d asks", st.OPFCreates, st.OPFReuses, K)
+	}
+}
+
+// waitFor polls cond until it holds or the test deadline-ish budget runs
+// out; the conditions it guards are local state flips, not wall-clock work.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}
+
+// TestHotSessionPileupSheds429: with a per-session queue cap of 1, an ask
+// parked behind a slow solve fills the queue and the next ask into the
+// same session is shed with 429 + Retry-After instead of joining an
+// unbounded goroutine line.
+func TestHotSessionPileupSheds429(t *testing.T) {
+	s, ts := newTestServerQueue(t, 8, 1, nil)
+	resp, out := postJSON(t, ts.URL+"/sessions", map[string]any{})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d", resp.StatusCode)
+	}
+	id := out["session_id"].(string)
+	ms, err := s.mgr.get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold the session's ask lock so request #1 parks in-flight (busy=1).
+	ms.mu.Lock()
+	unlocked := false
+	defer func() {
+		if !unlocked {
+			ms.mu.Unlock()
+		}
+	}()
+	firstStatus := make(chan int, 1)
+	go func() {
+		raw, _ := json.Marshal(map[string]any{"query": "Solve IEEE 14", "session_id": id})
+		resp, err := http.Post(ts.URL+"/ask", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			firstStatus <- -1
+			return
+		}
+		resp.Body.Close()
+		firstStatus <- resp.StatusCode
+	}()
+	waitFor(t, func() bool {
+		s.mgr.mu.Lock()
+		defer s.mgr.mu.Unlock()
+		return ms.busy == 1
+	})
+
+	// Queue full: the pileup request bounces immediately with a hint.
+	resp2, out2 := postJSON(t, ts.URL+"/ask", map[string]any{"query": "Solve IEEE 14", "session_id": id})
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("pileup ask: status %d body %v, want 429", resp2.StatusCode, out2)
+	}
+	if ra := resp2.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("pileup ask Retry-After = %q, want \"1\"", ra)
+	}
+
+	// Release the lock; the parked ask completes normally.
+	unlocked = true
+	ms.mu.Unlock()
+	if st := <-firstStatus; st != http.StatusOK {
+		t.Fatalf("parked ask finished with status %d, want 200", st)
+	}
+}
+
+// TestDefaultSessionQueueCap: the session-less /ask path enforces the
+// same in-flight bound as managed sessions.
+func TestDefaultSessionQueueCap(t *testing.T) {
+	s, ts := newTestServerQueue(t, 8, 1, nil)
+
+	s.defMu.Lock()
+	unlocked := false
+	defer func() {
+		if !unlocked {
+			s.defMu.Unlock()
+		}
+	}()
+	firstStatus := make(chan int, 1)
+	go func() {
+		raw, _ := json.Marshal(map[string]any{"query": "What is the current network status?"})
+		resp, err := http.Post(ts.URL+"/ask", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			firstStatus <- -1
+			return
+		}
+		resp.Body.Close()
+		firstStatus <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return s.defBusy.Load() == 1 })
+
+	resp, _ := postJSON(t, ts.URL+"/ask", map[string]any{"query": "What is the current network status?"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("default-session pileup: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", ra)
+	}
+
+	unlocked = true
+	s.defMu.Unlock()
+	if st := <-firstStatus; st != http.StatusOK {
+		t.Fatalf("parked default ask finished with status %d, want 200", st)
+	}
+}
+
+// outageBackend forwards to the sim until down is set, then answers 503.
+type outageBackend struct {
+	inner llm.Client
+	down  atomic.Bool
+}
+
+func (o *outageBackend) Model() string { return o.inner.Model() }
+
+func (o *outageBackend) Complete(ctx context.Context, req *llm.Request) (*llm.Response, error) {
+	if o.down.Load() {
+		return nil, &llm.StatusError{Code: http.StatusServiceUnavailable, Msg: "deployment offline"}
+	}
+	return o.inner.Complete(ctx, req)
+}
+
+// TestGatewayOutageReturns503AndRecovers is the serving-degradation
+// acceptance path: every gateway deployment's breaker open → /ask answers
+// 503 + Retry-After; after the backend heals and the breaker cools, the
+// SAME session serves again, and /metrics carries the gateway gauges.
+func TestGatewayOutageReturns503AndRecovers(t *testing.T) {
+	profile, _ := llm.ProfileByName(gridmind.ModelGPTO3)
+	backend := &outageBackend{inner: llm.NewSim(profile)}
+	backend.down.Store(true)
+
+	var clkMu sync.Mutex
+	now := time.Unix(1_700_000_000, 0)
+	gw, err := gridmind.NewGateway(
+		[]gridmind.GatewayDeployment{{Name: "only", Client: backend}},
+		gridmind.GatewayConfig{
+			Breaker: gateway.BreakerConfig{
+				Window: 4, MinSamples: 1, FailureRatio: 0.5,
+				OpenTimeout: 15 * time.Second, HalfOpenSuccesses: 1,
+			},
+			Retry: gateway.RetryConfig{
+				MaxAttempts: 2, BaseBackoff: time.Millisecond,
+				MaxBackoff: 2 * time.Millisecond, AttemptTimeout: -1,
+			},
+			Now: func() time.Time { clkMu.Lock(); defer clkMu.Unlock(); return now },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	_, ts := newTestServerQueue(t, 8, 8, gw)
+
+	// Outage: the first failure trips the breaker (MinSamples 1), the
+	// retry round finds every deployment open → ErrUnavailable → 503.
+	resp, out := postJSON(t, ts.URL+"/ask", map[string]any{"query": "Solve IEEE 14"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("outage ask: status %d body %v, want 503", resp.StatusCode, out)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "15" {
+		t.Fatalf("outage Retry-After = %q, want \"15\"", ra)
+	}
+
+	// Heal the backend and cool the breaker; the half-open probe succeeds
+	// and the same (default) session completes the solve it was asked for.
+	backend.down.Store(false)
+	clkMu.Lock()
+	now = now.Add(16 * time.Second)
+	clkMu.Unlock()
+	resp2, out2 := postJSON(t, ts.URL+"/ask", map[string]any{"query": "Solve IEEE 14"})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("recovered ask: status %d body %v, want 200", resp2.StatusCode, out2)
+	}
+	if ok, _ := out2["success"].(bool); !ok {
+		t.Fatalf("recovered ask unsuccessful: %v", out2)
+	}
+
+	// The gateway's counters ride the /metrics surface.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, gauge := range []string{"# gateway_requests", "# gateway_retries", "# gateway_deployment only state=closed"} {
+		if !strings.Contains(body, gauge) {
+			t.Fatalf("/metrics missing %q in:\n%s", gauge, body)
+		}
 	}
 }

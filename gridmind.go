@@ -33,6 +33,7 @@ import (
 	"gridmind/internal/contingency"
 	"gridmind/internal/engine"
 	"gridmind/internal/llm"
+	"gridmind/internal/llm/gateway"
 	"gridmind/internal/metrics"
 	"gridmind/internal/model"
 	"gridmind/internal/opf"
@@ -69,6 +70,26 @@ type (
 	Engine = engine.Engine
 	// EngineStats is an Engine's reuse-counter snapshot.
 	EngineStats = engine.Stats
+	// Client is the chat-completion backend interface; see Options.Client.
+	Client = llm.Client
+	// Gateway is a resilient multi-deployment LLM client: routing,
+	// per-deployment circuit breakers, health probing, retry/backoff and
+	// fallback chains (see NewGateway).
+	Gateway = gateway.Gateway
+	// GatewayDeployment names one backend behind a Gateway.
+	GatewayDeployment = gateway.Deployment
+	// GatewayConfig tunes a Gateway's routing, breakers, retries, health.
+	GatewayConfig = gateway.Config
+	// GatewayStats is a Gateway's counter snapshot.
+	GatewayStats = gateway.Stats
+	// GatewayStrategy names a Gateway routing policy ("priority",
+	// "round-robin", "least-latency", "weighted").
+	GatewayStrategy = gateway.Strategy
+	// GatewayHealthConfig tunes a Gateway's background health probing.
+	GatewayHealthConfig = gateway.HealthConfig
+	// FaultSpec configures deterministic fault injection for chaos testing
+	// (see NewChaosClient).
+	FaultSpec = llm.FaultSpec
 )
 
 // NewEngine returns a fresh shared artifact store. Hand the same engine to
@@ -144,6 +165,12 @@ type Options struct {
 	// Engine, when non-nil, is the shared compiled-artifact store this
 	// session draws from; nil selects the process-wide default engine.
 	Engine *Engine
+	// Client, when non-nil, is used directly as the LLM backend and takes
+	// precedence over Model and Endpoint. This is how a session rides a
+	// resilient multi-deployment Gateway (see NewGateway) or any custom
+	// backend. Latency is recorded as reported by the client; the session
+	// clock stays real.
+	Client Client
 }
 
 // GridMind is a conversational session: planner, coordinator, the ACOPF
@@ -158,13 +185,16 @@ type GridMind struct {
 // New creates a session.
 func New(o Options) *GridMind {
 	var client llm.Client
-	if o.Endpoint != "" {
+	switch {
+	case o.Client != nil:
+		client = o.Client
+	case o.Endpoint != "":
 		name := o.Model
 		if name == "" {
 			name = "remote"
 		}
 		client = &llm.HTTPClient{Endpoint: o.Endpoint, ModelName: name}
-	} else {
+	default:
 		name := o.Model
 		if name == "" {
 			name = ModelGPTO3
@@ -178,12 +208,15 @@ func New(o Options) *GridMind {
 	}
 	var clock simclock.Clock
 	absorb := false
-	if o.Endpoint == "" && !o.RealLatency {
+	// Only the plain in-process simulated backend runs on a virtual clock;
+	// remote endpoints and injected clients (gateways may mix real and
+	// simulated deployments) keep real time.
+	if o.Client == nil && o.Endpoint == "" && !o.RealLatency {
 		clock = simclock.NewSim(time.Now())
 		absorb = true
 	} else {
 		clock = simclock.Real{}
-		absorb = o.RealLatency && o.Endpoint == ""
+		absorb = o.RealLatency && o.Endpoint == "" && o.Client == nil
 	}
 	rec := metrics.NewRecorder()
 	coord := agents.NewCoordinator(agents.Config{
@@ -249,6 +282,38 @@ func (g *GridMind) RestoreSession(r io.Reader) error {
 		Salt:          g.coord.ACOPF.Salt,
 	})
 	return nil
+}
+
+// NewGateway builds a resilient LLM client over the named deployments:
+// pluggable routing (priority, round-robin, least-latency, weighted),
+// per-deployment circuit breakers with half-open probing, background
+// health checks, capped-exponential retry with jitter, and fallback
+// chains. Pass it to New via Options.Client.
+func NewGateway(deps []GatewayDeployment, cfg GatewayConfig) (*Gateway, error) {
+	return gateway.New(deps, cfg)
+}
+
+// NewSimClient returns the deterministic simulated backend for one of the
+// evaluated model profiles, for use as a Gateway deployment.
+func NewSimClient(model string) (Client, error) {
+	profile, ok := llm.ProfileByName(model)
+	if !ok {
+		return nil, fmt.Errorf("gridmind: unknown model %q (supported: %v)", model, Models())
+	}
+	return llm.NewSim(profile), nil
+}
+
+// NewHTTPClient returns a chat-completions client for a live endpoint,
+// for use as a Gateway deployment.
+func NewHTTPClient(endpoint, model string) Client {
+	return &llm.HTTPClient{Endpoint: endpoint, ModelName: model}
+}
+
+// NewChaosClient wraps any client with seeded, deterministic fault
+// injection (errors, latency spikes, stalls, malformed responses) for
+// resilience testing.
+func NewChaosClient(c Client, spec FaultSpec) Client {
+	return llm.NewFaultClient(c, spec)
 }
 
 // ValidateModel returns an error when the model name is not one of the

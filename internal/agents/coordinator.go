@@ -2,6 +2,7 @@ package agents
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -140,6 +141,7 @@ func (c *Coordinator) Handle(ctx context.Context, query string) (*Exchange, erro
 		steps[i] = WorkflowStep{Seq: i + 1, Agent: as.Agent, Query: as.Query, Status: StepPending}
 	}
 	var replies []string
+	var infraErr error
 	for i, as := range plan {
 		steps[i].Status = StepRunning
 		steps[i].StartedAt = c.Clock.Now()
@@ -155,6 +157,14 @@ func (c *Coordinator) Handle(ctx context.Context, query string) (*Exchange, erro
 			steps[i].Error = err.Error()
 			ex.Success = false
 			replies = append(replies, fmt.Sprintf("[%s agent] failed: %v", as.Agent, err))
+			// No backend deployment can take traffic right now. That is an
+			// infrastructure outage, not an analysis failure: surface it as
+			// an error so the serving layer can answer 503 + Retry-After.
+			// The session context is untouched, so the conversation resumes
+			// cleanly once a deployment recovers.
+			if errors.Is(err, llm.ErrUnavailable) {
+				infraErr = err
+			}
 			// Later steps usually depend on earlier state; stop here, as
 			// the paper's coordinator surfaces the failure for the user
 			// to decide.
@@ -178,7 +188,7 @@ func (c *Coordinator) Handle(ctx context.Context, query string) (*Exchange, erro
 	c.workflow = append(c.workflow, steps...)
 	c.mu.Unlock()
 	c.Session.AddProvenance("coordinator", fmt.Sprintf("handled %q via %d step(s)", query, len(plan)))
-	return ex, nil
+	return ex, infraErr
 }
 
 // Workflow returns the accumulated workflow trace.

@@ -1,0 +1,81 @@
+package agents
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gridmind/internal/llm"
+	"gridmind/internal/simclock"
+)
+
+// outageClient forwards to a working backend unless the outage flag is
+// set, in which case it fails the way a gateway with every breaker open
+// does.
+type outageClient struct {
+	mu    sync.Mutex
+	down  bool
+	inner llm.Client
+}
+
+func (o *outageClient) Model() string { return o.inner.Model() }
+
+func (o *outageClient) setDown(down bool) {
+	o.mu.Lock()
+	o.down = down
+	o.mu.Unlock()
+}
+
+func (o *outageClient) Complete(ctx context.Context, req *llm.Request) (*llm.Response, error) {
+	o.mu.Lock()
+	down := o.down
+	o.mu.Unlock()
+	if down {
+		return nil, fmt.Errorf("gateway test: %w", llm.ErrUnavailable)
+	}
+	return o.inner.Complete(ctx, req)
+}
+
+// TestCoordinatorSurfacesUnavailableAndRecovers: a total backend outage
+// must come back as an error the serving layer can map to 503 — and the
+// session must remain usable once the backend returns, with no residue
+// from the failed exchange.
+func TestCoordinatorSurfacesUnavailableAndRecovers(t *testing.T) {
+	profile, ok := llm.ProfileByName(llm.ModelGPTO3)
+	if !ok {
+		t.Fatal("profile missing")
+	}
+	backend := &outageClient{down: true, inner: llm.NewSim(profile)}
+	c := NewCoordinator(Config{
+		Client:        backend,
+		Clock:         simclock.NewSim(time.Date(2025, 9, 2, 0, 0, 0, 0, time.UTC)),
+		AbsorbLatency: true,
+	})
+
+	ex, err := c.Handle(context.Background(), "Solve IEEE 14")
+	if !errors.Is(err, llm.ErrUnavailable) {
+		t.Fatalf("total outage returned err = %v, want ErrUnavailable", err)
+	}
+	if ex == nil || ex.Success {
+		t.Fatal("outage exchange should exist and be marked unsuccessful")
+	}
+
+	// Any other agent failure keeps the old contract: reported in the
+	// exchange, not as an error.
+	backend.setDown(false)
+	ex, err = c.Handle(context.Background(), "Solve IEEE 14")
+	if err != nil {
+		t.Fatalf("recovered backend still errors: %v", err)
+	}
+	if !ex.Success || !strings.Contains(ex.Reply, "case14") {
+		t.Fatalf("session unusable after outage: success=%v reply=%q", ex.Success, ex.Reply)
+	}
+	sol, fresh := c.Session.ACOPF()
+	if sol == nil || !fresh || !sol.Solved {
+		t.Fatal("session did not hold a fresh solution after recovery")
+	}
+}

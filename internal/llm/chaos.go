@@ -1,0 +1,124 @@
+package llm
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FaultSpec configures deterministic fault injection. All rates are
+// probabilities in [0,1] drawn from a stream seeded by (Seed, call index),
+// so a run with the same spec and the same call sequence injects the same
+// faults in the same order — CI can drive a circuit breaker through every
+// transition without flaky timing.
+type FaultSpec struct {
+	// Seed anchors the per-call fault stream.
+	Seed int64
+	// ErrorRate is the probability a call fails with ErrorStatus.
+	ErrorRate float64
+	// ErrorStatus is the injected StatusError code; 0 means 503.
+	ErrorStatus int
+	// SpikeRate is the probability a call reports Spike extra latency.
+	SpikeRate float64
+	// Spike is the added Response.Latency on a spiked call.
+	Spike time.Duration
+	// StallRate is the probability a call blocks for Stall of real wall
+	// time (or until the context expires), modelling a hung backend.
+	StallRate float64
+	// Stall is how long a stalled call blocks.
+	Stall time.Duration
+	// MalformedRate is the probability a call fails with ErrMalformed,
+	// modelling a backend that answered with an unusable payload.
+	MalformedRate float64
+}
+
+// FaultStats counts what a FaultClient actually injected.
+type FaultStats struct {
+	Calls     int64
+	Errors    int64
+	Spikes    int64
+	Stalls    int64
+	Malformed int64
+}
+
+// FaultClient wraps any Client with seeded fault injection, turning the
+// simulated backend into a chaos harness. The fault decision for call n
+// depends only on (Seed, n): the four draws happen in a fixed order
+// (stall, error, malformed, spike) regardless of which rates are zero, so
+// enabling one fault class never reshuffles another's schedule.
+type FaultClient struct {
+	Backend Client
+	Spec    FaultSpec
+
+	mu    sync.Mutex
+	calls int64
+	stats FaultStats
+}
+
+// NewFaultClient wraps backend with the given fault spec.
+func NewFaultClient(backend Client, spec FaultSpec) *FaultClient {
+	return &FaultClient{Backend: backend, Spec: spec}
+}
+
+// Model implements Client.
+func (f *FaultClient) Model() string { return f.Backend.Model() }
+
+// Stats returns a snapshot of the injected-fault counters.
+func (f *FaultClient) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Complete implements Client, injecting faults ahead of the backend.
+func (f *FaultClient) Complete(ctx context.Context, req *Request) (*Response, error) {
+	f.mu.Lock()
+	n := f.calls
+	f.calls++
+	f.stats.Calls++
+	rng := rand.New(rand.NewSource(f.Spec.Seed*1_000_003 + n))
+	stall := rng.Float64() < f.Spec.StallRate
+	fail := rng.Float64() < f.Spec.ErrorRate
+	malformed := rng.Float64() < f.Spec.MalformedRate
+	spike := rng.Float64() < f.Spec.SpikeRate
+	switch {
+	case stall:
+		f.stats.Stalls++
+	case fail:
+		f.stats.Errors++
+	case malformed:
+		f.stats.Malformed++
+	case spike:
+		f.stats.Spikes++
+	}
+	f.mu.Unlock()
+
+	switch {
+	case stall:
+		// Block like a hung backend: the caller's per-attempt timeout or
+		// deadline is the only way out.
+		t := time.NewTimer(f.Spec.Stall)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+			return nil, &StatusError{Code: 504, Msg: fmt.Sprintf("injected stall (call %d)", n)}
+		}
+	case fail:
+		code := f.Spec.ErrorStatus
+		if code == 0 {
+			code = 503
+		}
+		return nil, &StatusError{Code: code, Msg: fmt.Sprintf("injected fault (call %d)", n)}
+	case malformed:
+		return nil, fmt.Errorf("%w: injected (call %d)", ErrMalformed, n)
+	}
+	res, err := f.Backend.Complete(ctx, req)
+	if err == nil && spike {
+		res.Latency += f.Spec.Spike
+	}
+	return res, err
+}

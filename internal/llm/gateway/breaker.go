@@ -1,0 +1,195 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+// Breaker states. Closed passes traffic; Open rejects it until the
+// cooldown elapses; HalfOpen admits single probe requests that decide
+// between closing and re-opening.
+const (
+	StateClosed BreakerState = iota
+	StateOpen
+	StateHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a per-deployment circuit breaker. The zero value
+// selects the defaults noted per field.
+type BreakerConfig struct {
+	// Window is the rolling count of attempt outcomes considered (20).
+	Window int
+	// FailureRatio trips the breaker when the window's failure fraction
+	// reaches it (0.5).
+	FailureRatio float64
+	// MinSamples is the minimum outcomes in the window before the ratio is
+	// consulted (5), so one early failure can't trip a cold breaker.
+	MinSamples int
+	// OpenTimeout is how long an open breaker rejects traffic before
+	// admitting a half-open probe (15s).
+	OpenTimeout time.Duration
+	// HalfOpenSuccesses is the consecutive probe successes required to
+	// close a half-open breaker (2).
+	HalfOpenSuccesses int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 20
+	}
+	if c.FailureRatio <= 0 {
+		c.FailureRatio = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 5
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = 15 * time.Second
+	}
+	if c.HalfOpenSuccesses <= 0 {
+		c.HalfOpenSuccesses = 2
+	}
+	return c
+}
+
+// breaker is the closed/open/half-open state machine. Attempts bracket it
+// with begin/end; outcomes that complete after a state change (a slow
+// in-flight attempt finishing once the breaker already tripped) are
+// discarded rather than double-counted.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu             sync.Mutex
+	state          BreakerState
+	window         []bool // true = failure
+	widx, wfill    int
+	fails          int
+	openedAt       time.Time
+	probing        bool // a half-open probe is in flight
+	probeSuccesses int
+	opens, closes  int64
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+	cfg = cfg.withDefaults()
+	return &breaker{cfg: cfg, now: now, window: make([]bool, cfg.Window)}
+}
+
+// begin asks permission to attempt. probe reports whether this attempt is
+// the half-open probe; ok=false means the breaker rejected the attempt.
+func (b *breaker) begin() (probe, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return false, true
+	case StateOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.OpenTimeout {
+			return false, false
+		}
+		b.state = StateHalfOpen
+		b.probing = true
+		b.probeSuccesses = 0
+		return true, true
+	default: // StateHalfOpen
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// end records an attempt outcome. failure should be true only for faults
+// that implicate the deployment (5xx, transport errors, timeouts,
+// malformed output) — a caller-side 4xx proves the backend is answering.
+func (b *breaker) end(probe, failure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		if b.state != StateHalfOpen {
+			return
+		}
+		if failure {
+			b.trip()
+			return
+		}
+		b.probeSuccesses++
+		if b.probeSuccesses >= b.cfg.HalfOpenSuccesses {
+			b.state = StateClosed
+			b.resetWindow()
+			b.closes++
+		}
+		return
+	}
+	if b.state != StateClosed {
+		// A non-probe attempt that started before the trip; its outcome no
+		// longer bears on the (reset-on-close) window.
+		return
+	}
+	if b.wfill == len(b.window) {
+		if b.window[b.widx] {
+			b.fails--
+		}
+	} else {
+		b.wfill++
+	}
+	b.window[b.widx] = failure
+	b.widx = (b.widx + 1) % len(b.window)
+	if failure {
+		b.fails++
+	}
+	if failure && b.wfill >= b.cfg.MinSamples &&
+		float64(b.fails)/float64(b.wfill) >= b.cfg.FailureRatio {
+		b.trip()
+	}
+}
+
+func (b *breaker) trip() {
+	b.state = StateOpen
+	b.openedAt = b.now()
+	b.probing = false
+	b.probeSuccesses = 0
+	b.opens++
+}
+
+func (b *breaker) resetWindow() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.widx, b.wfill, b.fails = 0, 0, 0
+	b.probeSuccesses = 0
+}
+
+// State reports the stored position; the lazy open→half-open transition
+// happens in begin, not here.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Counters returns (opens, closes): total trips and total recoveries.
+func (b *breaker) Counters() (int64, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens, b.closes
+}

@@ -1,0 +1,137 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerLifecycle walks the full state machine on a virtual clock:
+// closed → (failure ratio) open → (cooldown) half-open → probe failure →
+// open again → probes → closed, with the window reset on close.
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(BreakerConfig{
+		Window: 4, MinSamples: 3, FailureRatio: 0.5,
+		OpenTimeout: time.Second, HalfOpenSuccesses: 2,
+	}, func() time.Time { return now })
+
+	attempt := func(failure bool) {
+		t.Helper()
+		probe, ok := b.begin()
+		if !ok {
+			t.Fatal("closed breaker rejected an attempt")
+		}
+		if probe {
+			t.Fatal("closed breaker flagged a probe")
+		}
+		b.end(probe, failure)
+	}
+
+	// fail, ok, fail: 2/3 failures ≥ 0.5 with MinSamples met → trip.
+	attempt(true)
+	attempt(false)
+	if b.State() != StateClosed {
+		t.Fatalf("tripped before MinSamples: %v", b.State())
+	}
+	attempt(true)
+	if b.State() != StateOpen {
+		t.Fatalf("state after 2/3 failures = %v, want open", b.State())
+	}
+	if opens, _ := b.Counters(); opens != 1 {
+		t.Fatalf("opens = %d, want 1", opens)
+	}
+
+	// Open rejects until the cooldown elapses.
+	if _, ok := b.begin(); ok {
+		t.Fatal("open breaker admitted an attempt before cooldown")
+	}
+	now = now.Add(time.Second)
+	probe, ok := b.begin()
+	if !ok || !probe {
+		t.Fatalf("cooled breaker begin = (%v, %v), want half-open probe", probe, ok)
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// Only one probe in flight.
+	if _, ok := b.begin(); ok {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// Probe failure re-opens.
+	b.end(true, true)
+	if b.State() != StateOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if opens, _ := b.Counters(); opens != 2 {
+		t.Fatalf("opens = %d, want 2", opens)
+	}
+
+	// Two successful probes close it.
+	now = now.Add(time.Second)
+	for i := 0; i < 2; i++ {
+		probe, ok := b.begin()
+		if !ok || !probe {
+			t.Fatalf("probe %d: begin = (%v, %v)", i, probe, ok)
+		}
+		b.end(true, false)
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("state after %d good probes = %v, want closed", 2, b.State())
+	}
+	if _, closes := b.Counters(); closes != 1 {
+		t.Fatalf("closes = %d, want 1", closes)
+	}
+
+	// The window was reset on close: one failure in a fresh window is
+	// below MinSamples and must not trip.
+	attempt(true)
+	if b.State() != StateClosed {
+		t.Fatal("stale window survived the close and re-tripped the breaker")
+	}
+}
+
+// TestBreakerIgnoresLateOutcomes: an in-flight attempt that finishes
+// after the breaker tripped must not corrupt the fresh window.
+func TestBreakerIgnoresLateOutcomes(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(BreakerConfig{
+		Window: 4, MinSamples: 2, FailureRatio: 0.5,
+		OpenTimeout: time.Second, HalfOpenSuccesses: 1,
+	}, func() time.Time { return now })
+
+	// Start three attempts while closed; the first two failures trip the
+	// breaker, the third outcome lands while it is already open.
+	p1, ok1 := b.begin()
+	p2, ok2 := b.begin()
+	p3, ok3 := b.begin()
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("closed breaker rejected attempts")
+	}
+	b.end(p1, true)
+	b.end(p2, true)
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	b.end(p3, true) // late outcome: must be discarded, not double-counted
+	if opens, _ := b.Counters(); opens != 1 {
+		t.Fatalf("late outcome double-tripped: opens = %d, want 1", opens)
+	}
+
+	// Recover; the fresh window must not have inherited the late failure.
+	now = now.Add(time.Second)
+	if probe, ok := b.begin(); !ok || !probe {
+		t.Fatal("cooled breaker refused the probe")
+	}
+	b.end(true, false)
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+	if probe, ok := b.begin(); !ok || probe {
+		t.Fatal("closed breaker did not pass traffic")
+	} else {
+		b.end(probe, true)
+	}
+	if b.State() != StateClosed {
+		t.Fatal("single failure after recovery tripped the breaker: stale window")
+	}
+}

@@ -1,0 +1,90 @@
+package gateway
+
+import (
+	"context"
+	"time"
+
+	"gridmind/internal/llm"
+)
+
+// HealthConfig configures the background health checker. It reuses the
+// breaker as its demote/restore mechanism: a probe against a closed
+// breaker feeds its rolling window (repeated probe failures trip it —
+// demotion — before user traffic has to discover the outage), and a probe
+// against a cooled-down open breaker is the half-open trial that restores
+// the deployment without waiting for a live request to volunteer.
+type HealthConfig struct {
+	// Interval between background sweeps; 0 disables the checker.
+	Interval time.Duration
+	// Timeout bounds each probe (5s).
+	Timeout time.Duration
+	// Probe checks one deployment; nil selects a minimal one-message
+	// completion.
+	Probe func(ctx context.Context, c llm.Client) error
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.Probe == nil {
+		c.Probe = defaultProbe
+	}
+	return c
+}
+
+func defaultProbe(ctx context.Context, c llm.Client) error {
+	_, err := c.Complete(ctx, &llm.Request{
+		Messages: []llm.Message{{Role: llm.RoleUser, Content: "health probe: report status"}},
+	})
+	return err
+}
+
+// CheckNow probes every deployment once, synchronously. Exported so tests
+// and operators can force a sweep instead of waiting out the interval.
+func (g *Gateway) CheckNow(ctx context.Context) {
+	for _, d := range g.deps {
+		probe, ok := d.br.begin()
+		if !ok {
+			// Open and still cooling down; leave it alone.
+			continue
+		}
+		pctx, cancel := context.WithTimeout(ctx, g.cfg.Health.Timeout)
+		err := g.cfg.Health.Probe(pctx, d.Client)
+		cancel()
+		d.probes.Add(1)
+		d.br.end(probe, err != nil && breakerFailure(err))
+	}
+}
+
+func (g *Gateway) startHealth() {
+	if g.cfg.Health.Interval <= 0 {
+		return
+	}
+	g.healthStop = make(chan struct{})
+	g.healthDone = make(chan struct{})
+	go func() {
+		defer close(g.healthDone)
+		t := time.NewTicker(g.cfg.Health.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-g.healthStop:
+				return
+			case <-t.C:
+				g.CheckNow(context.Background())
+			}
+		}
+	}()
+}
+
+// Close stops the background health checker, if one is running. The
+// gateway remains usable for requests afterwards.
+func (g *Gateway) Close() {
+	if g.healthStop == nil {
+		return
+	}
+	close(g.healthStop)
+	<-g.healthDone
+	g.healthStop = nil
+}

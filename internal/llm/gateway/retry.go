@@ -1,0 +1,58 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+
+	"gridmind/internal/llm"
+)
+
+// Error classification. Two independent questions are asked about every
+// failed attempt:
+//
+//   - retryable(err): is another attempt (same or different deployment)
+//     worth the caller's time? Throttling (429), request timeout (408),
+//     server faults (5xx), transport errors and attempt timeouts are;
+//     other 4xx and malformed responses will fail identically everywhere.
+//   - breakerFailure(err): does the error implicate the DEPLOYMENT's
+//     health? A 4xx proves the backend is up and answering — it must not
+//     trip the breaker even though it is terminal for this request.
+//     Malformed output is the mirror case: terminal for the caller, but
+//     a real health signal against the deployment.
+
+// retryable reports whether the gateway should spend budget on another
+// attempt after err.
+func retryable(err error) bool {
+	var se *llm.StatusError
+	if errors.As(err, &se) {
+		switch {
+		case se.Code == 429 || se.Code == 408:
+			return true
+		case se.Code >= 500:
+			return true
+		default:
+			return false
+		}
+	}
+	if errors.Is(err, llm.ErrMalformed) {
+		return false
+	}
+	// Transport errors, attempt timeouts, everything unclassified: the
+	// fallback chain exists for exactly these.
+	return true
+}
+
+// breakerFailure reports whether err should count against the
+// deployment's rolling failure window.
+func breakerFailure(err error) bool {
+	var se *llm.StatusError
+	if errors.As(err, &se) {
+		// 4xx (bar throttling and request timeout) means the backend is
+		// healthy and the request was bad.
+		return se.Code < 400 || se.Code >= 500 || se.Code == 429 || se.Code == 408
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,116 @@
+package gateway
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Strategy names a routing policy over the deployment set.
+type Strategy string
+
+// Routing strategies.
+const (
+	// StrategyPriority always prefers the lowest Priority number,
+	// falling through to higher numbers only when breakers reject.
+	StrategyPriority Strategy = "priority"
+	// StrategyRoundRobin rotates the preferred deployment per request.
+	StrategyRoundRobin Strategy = "round-robin"
+	// StrategyLeastLatency prefers the deployment with the lowest
+	// exponentially-weighted mean observed latency.
+	StrategyLeastLatency Strategy = "least-latency"
+	// StrategyWeighted spreads requests proportionally to Weight using
+	// smooth weighted round-robin.
+	StrategyWeighted Strategy = "weighted"
+)
+
+// ParseStrategy validates a strategy name from config/flags.
+func ParseStrategy(s string) (Strategy, error) {
+	switch Strategy(s) {
+	case StrategyPriority, StrategyRoundRobin, StrategyLeastLatency, StrategyWeighted:
+		return Strategy(s), nil
+	case "":
+		return StrategyPriority, nil
+	}
+	return "", fmt.Errorf("gateway: unknown routing strategy %q (want priority, round-robin, least-latency or weighted)", s)
+}
+
+// order returns the deployments in this request's preference order: the
+// router proposes, the breakers dispose. Every strategy returns ALL
+// deployments so an open breaker at the front falls through to the next —
+// the fallback chain is the tail of this slice.
+func (g *Gateway) order() []*deployment {
+	switch g.cfg.Strategy {
+	case StrategyRoundRobin:
+		n := len(g.deps)
+		start := int((g.rr.Add(1) - 1) % uint64(n))
+		out := make([]*deployment, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, g.deps[(start+i)%n])
+		}
+		return out
+	case StrategyLeastLatency:
+		out := append([]*deployment(nil), g.deps...)
+		sort.SliceStable(out, func(i, j int) bool {
+			// Unsampled deployments (EWMA 0) sort first so every backend
+			// gets measured before the ranking hardens.
+			return out[i].ewma.Load() < out[j].ewma.Load()
+		})
+		return out
+	case StrategyWeighted:
+		return g.weightedOrder()
+	default: // StrategyPriority
+		return g.byPriority
+	}
+}
+
+// weightedOrder implements smooth weighted round-robin for the head pick
+// (each deployment's current weight accumulates its configured weight,
+// the max wins and is debited by the total), with the fallback tail
+// ordered by static weight.
+func (g *Gateway) weightedOrder() []*deployment {
+	g.wrrMu.Lock()
+	total := int64(0)
+	var best *deployment
+	for _, d := range g.deps {
+		d.curWeight += int64(d.weight())
+		total += int64(d.weight())
+		if best == nil || d.curWeight > best.curWeight {
+			best = d
+		}
+	}
+	best.curWeight -= total
+	g.wrrMu.Unlock()
+
+	out := make([]*deployment, 0, len(g.deps))
+	out = append(out, best)
+	rest := make([]*deployment, 0, len(g.deps)-1)
+	for _, d := range g.deps {
+		if d != best {
+			rest = append(rest, d)
+		}
+	}
+	sort.SliceStable(rest, func(i, j int) bool { return rest[i].weight() > rest[j].weight() })
+	return append(out, rest...)
+}
+
+func (d *deployment) weight() int {
+	if d.Weight <= 0 {
+		return 1
+	}
+	return d.Weight
+}
+
+// observeLatency folds one sample into the deployment's EWMA (α = 0.2).
+// Simulated backends report virtual latency in the response; that is the
+// meaningful figure when the wall clock barely moved.
+func (d *deployment) observeLatency(sample int64) {
+	if sample <= 0 {
+		return
+	}
+	old := d.ewma.Load()
+	if old == 0 {
+		d.ewma.Store(sample)
+		return
+	}
+	d.ewma.Store(old + (sample-old)/5)
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -62,6 +63,9 @@ type wireResponse struct {
 	} `json:"usage"`
 	LatencyNS int64  `json:"latency_ns,omitempty"`
 	Error     string `json:"error,omitempty"`
+	// Status mirrors the HTTP status on error responses, so the 4xx-vs-5xx
+	// distinction survives proxies that rewrite the transport status.
+	Status int `json:"status,omitempty"`
 }
 
 func toWire(req *Request) *wireRequest {
@@ -86,13 +90,15 @@ func toWire(req *Request) *wireRequest {
 	return w
 }
 
-func fromWire(w *wireRequest) *Request {
+func fromWire(w *wireRequest) (*Request, error) {
 	req := &Request{Model: w.Model, Salt: w.Salt}
 	for _, m := range w.Messages {
 		rm := Message{Role: Role(m.Role), Content: m.Content, ToolCallID: m.ToolCallID, Name: m.Name}
 		for _, tc := range m.ToolCalls {
-			var args map[string]any
-			_ = json.Unmarshal([]byte(tc.Function.Arguments), &args)
+			args, err := decodeArgs(tc.Function.Arguments)
+			if err != nil {
+				return nil, fmt.Errorf("llm: tool call %s (%s): bad arguments: %w", tc.ID, tc.Function.Name, err)
+			}
 			rm.ToolCalls = append(rm.ToolCalls, ToolCall{ID: tc.ID, Name: tc.Function.Name, Args: args})
 		}
 		req.Messages = append(req.Messages, rm)
@@ -102,7 +108,22 @@ func fromWire(w *wireRequest) *Request {
 			Name: t.Function.Name, Description: t.Function.Description, Parameters: t.Function.Parameters,
 		})
 	}
-	return req
+	return req, nil
+}
+
+// decodeArgs parses a wire tool call's JSON-encoded arguments. Empty
+// arguments are a legal "no args" call; anything else must decode, because
+// a tool call with silently nil'd arguments executes with defaults the
+// model never asked for.
+func decodeArgs(raw string) (map[string]any, error) {
+	if raw == "" || raw == "null" {
+		return nil, nil
+	}
+	var args map[string]any
+	if err := json.Unmarshal([]byte(raw), &args); err != nil {
+		return nil, err
+	}
+	return args, nil
 }
 
 // HTTPClient speaks the chat-completions protocol to a remote endpoint.
@@ -148,23 +169,38 @@ func (c *HTTPClient) Complete(ctx context.Context, req *Request) (*Response, err
 		return nil, err
 	}
 	if hres.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("llm: endpoint returned %s: %s", hres.Status, truncate(string(raw), 200))
+		code := hres.StatusCode
+		msg := truncate(string(raw), 200)
+		var w wireResponse
+		if json.Unmarshal(raw, &w) == nil && w.Error != "" {
+			msg = w.Error
+			if w.Status != 0 {
+				code = w.Status
+			}
+		}
+		return nil, &StatusError{Code: code, Msg: msg}
 	}
 	var w wireResponse
 	if err := json.Unmarshal(raw, &w); err != nil {
-		return nil, fmt.Errorf("llm: decode response: %w", err)
+		return nil, fmt.Errorf("%w: decode: %v", ErrMalformed, err)
 	}
 	if w.Error != "" {
-		return nil, fmt.Errorf("llm: backend error: %s", w.Error)
+		code := w.Status
+		if code == 0 {
+			code = http.StatusInternalServerError
+		}
+		return nil, &StatusError{Code: code, Msg: w.Error}
 	}
 	if len(w.Choices) == 0 {
-		return nil, fmt.Errorf("llm: backend returned no choices")
+		return nil, fmt.Errorf("%w: backend returned no choices", ErrMalformed)
 	}
 	wm := w.Choices[0].Message
 	msg := Message{Role: Role(wm.Role), Content: wm.Content}
 	for _, tc := range wm.ToolCalls {
-		var args map[string]any
-		_ = json.Unmarshal([]byte(tc.Function.Arguments), &args)
+		args, err := decodeArgs(tc.Function.Arguments)
+		if err != nil {
+			return nil, fmt.Errorf("%w: tool call %s (%s): bad arguments: %v", ErrMalformed, tc.ID, tc.Function.Name, err)
+		}
 		msg.ToolCalls = append(msg.ToolCalls, ToolCall{ID: tc.ID, Name: tc.Function.Name, Args: args})
 	}
 	lat := time.Since(start)
@@ -195,18 +231,33 @@ func Handler(backend Client) http.Handler {
 		}
 		var wreq wireRequest
 		if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&wreq); err != nil {
-			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			writeWireError(w, http.StatusBadRequest, "bad request: "+err.Error())
 			return
 		}
-		res, err := backend.Complete(r.Context(), fromWire(&wreq))
+		req, err := fromWire(&wreq)
+		if err != nil {
+			writeWireError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		res, err := backend.Complete(r.Context(), req)
+		if err != nil {
+			// Preserve the backend's own classification: a StatusError keeps
+			// its code (so a client-side 4xx is not re-reported as a server
+			// fault), malformed output is the upstream's fault (502), and
+			// everything else is a plain backend failure (500).
+			code := http.StatusInternalServerError
+			var se *StatusError
+			switch {
+			case errors.As(err, &se):
+				code = se.Code
+			case errors.Is(err, ErrMalformed):
+				code = http.StatusBadGateway
+			}
+			writeWireError(w, code, err.Error())
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		var out wireResponse
-		if err != nil {
-			out.Error = err.Error()
-			w.WriteHeader(http.StatusInternalServerError)
-			_ = json.NewEncoder(w).Encode(out)
-			return
-		}
 		wm := wireMessage{Role: string(res.Message.Role), Content: res.Message.Content}
 		for _, tc := range res.Message.ToolCalls {
 			raw, _ := json.Marshal(tc.Args)
@@ -223,4 +274,10 @@ func Handler(backend Client) http.Handler {
 		out.LatencyNS = int64(res.Latency)
 		_ = json.NewEncoder(w).Encode(out)
 	})
+}
+
+func writeWireError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(wireResponse{Error: msg, Status: code})
 }

@@ -44,7 +44,9 @@ func (s *SimClient) Complete(ctx context.Context, req *Request) (*Response, erro
 	}
 	userIdx := lastUserIndex(req.Messages)
 	if userIdx < 0 {
-		return nil, fmt.Errorf("llm: conversation has no user message")
+		// A request with no user turn is the caller's mistake, not a
+		// backend fault — classify it as a 400 so gateways don't retry it.
+		return nil, &StatusError{Code: 400, Msg: "conversation has no user message"}
 	}
 	in := parseIntent(req.Messages[userIdx].Content)
 	results := decodeToolResults(req.Messages[userIdx+1:])

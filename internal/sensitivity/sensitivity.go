@@ -37,7 +37,12 @@ var ErrNoSolution = errors.New("sensitivity: a solved base ACOPF is required")
 // LoadImpacts measures the impact of adding deltaMW (and proportional
 // MVAr at 0.98 power factor) at each listed bus, re-solving the ACOPF
 // warm-started from the base solution so all results live in one basin.
-func LoadImpacts(n *model.Network, base *opf.Solution, busIDs []int, deltaMW float64) ([]Impact, error) {
+//
+// kkt, when non-nil, is the solver context to run the re-solves in —
+// pass one checked out of the serving engine's pool (AcquireOPF) so
+// impact sweeps reuse the case's already-compiled KKT pattern instead of
+// compiling a private one per sweep. nil falls back to a fresh context.
+func LoadImpacts(n *model.Network, base *opf.Solution, busIDs []int, deltaMW float64, kkt *opf.Context) ([]Impact, error) {
 	if base == nil || !base.Solved {
 		return nil, ErrNoSolution
 	}
@@ -46,8 +51,12 @@ func LoadImpacts(n *model.Network, base *opf.Solution, busIDs []int, deltaMW flo
 	}
 	// One solver context across all per-bus re-solves: adding a load leaves
 	// the network topology (and so the compiled KKT pattern + LU symbolic
-	// analysis) unchanged, so only the first re-solve compiles anything.
-	ctx := opf.NewContext()
+	// analysis) unchanged, so only the first re-solve compiles anything —
+	// and nothing at all when the pooled context has seen the case before.
+	ctx := kkt
+	if ctx == nil {
+		ctx = opf.NewContext()
+	}
 	out := make([]Impact, 0, len(busIDs))
 	for _, id := range busIDs {
 		bi := n.BusByID(id)

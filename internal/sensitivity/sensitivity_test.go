@@ -17,7 +17,7 @@ func TestLMPMatchesFiniteDifference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	impacts, err := LoadImpacts(n, base, []int{9, 14, 4}, 1.0)
+	impacts, err := LoadImpacts(n, base, []int{9, 14, 4}, 1.0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestLoadImpactsCostMonotonicity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	impacts, err := LoadImpacts(n, base, []int{7, 21, 30}, 5.0)
+	impacts, err := LoadImpacts(n, base, []int{7, 21, 30}, 5.0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,17 +60,17 @@ func TestLoadImpactsCostMonotonicity(t *testing.T) {
 func TestLoadImpactsErrors(t *testing.T) {
 	n := cases.MustLoad("case14")
 	base, _ := opf.SolveACOPF(n, opf.Options{})
-	if _, err := LoadImpacts(n, nil, []int{1}, 1); err == nil {
+	if _, err := LoadImpacts(n, nil, []int{1}, 1, nil); err == nil {
 		t.Fatal("nil base accepted")
 	}
-	if _, err := LoadImpacts(n, base, []int{1}, 0); err == nil {
+	if _, err := LoadImpacts(n, base, []int{1}, 0, nil); err == nil {
 		t.Fatal("zero delta accepted")
 	}
-	if _, err := LoadImpacts(n, base, []int{999}, 1); err == nil {
+	if _, err := LoadImpacts(n, base, []int{999}, 1, nil); err == nil {
 		t.Fatal("unknown bus accepted")
 	}
 	unsolved := &opf.Solution{Solved: false}
-	if _, err := LoadImpacts(n, unsolved, []int{1}, 1); err == nil {
+	if _, err := LoadImpacts(n, unsolved, []int{1}, 1, nil); err == nil {
 		t.Fatal("unsolved base accepted")
 	}
 }

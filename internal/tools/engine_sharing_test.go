@@ -99,3 +99,55 @@ func TestSecondSessionSharesCompiledArtifacts(t *testing.T) {
 		t.Fatalf("second session cloned %d networks; the serving path should stay near zero", d)
 	}
 }
+
+// TestSensitivitySweepReusesPooledKKT: the load-sensitivity tool's impact
+// re-solves must run in the engine's pooled solver context — zero fresh
+// KKT contexts and zero pattern compilations beyond the base solve —
+// proven by exact counters, like the PR 5 engine tests.
+func TestSensitivitySweepReusesPooledKKT(t *testing.T) {
+	eng := engine.New()
+	sess := session.NewWithEngine(nil, eng)
+	if _, err := sess.LoadCase("case30"); err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := solveWithRecovery(sess, eng)
+	if err != nil || !sol.Solved {
+		t.Fatalf("acopf: %v", err)
+	}
+	sess.SetACOPF(sol)
+	before := eng.Stats()
+	if before.OPFCreates != 1 {
+		t.Fatalf("base solve created %d KKT contexts, want 1", before.OPFCreates)
+	}
+
+	tool := loadSensitivityTool(sess, eng)
+	out, err := tool.Fn(map[string]any{
+		"buses":    []any{7.0, 21.0, 30.0},
+		"delta_mw": 2.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := out.(map[string]any)
+	if !ok || res["solved_probes"].(int) != 3 {
+		t.Fatalf("sensitivity sweep did not solve all probes: %+v", out)
+	}
+
+	after := eng.Stats()
+	if after.OPFCreates != before.OPFCreates {
+		t.Fatalf("sensitivity sweep compiled a private KKT context: creates %d -> %d",
+			before.OPFCreates, after.OPFCreates)
+	}
+	if after.OPFReuses == before.OPFReuses {
+		t.Fatal("sensitivity sweep never checked the pooled KKT context out")
+	}
+	n, err := sess.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kkt := eng.AcquireOPF(eng.Artifacts(n).Sig)
+	if kkt.Compiles() != 1 {
+		t.Fatalf("pooled KKT context compiled %d patterns across base solve + 3-bus sweep, want 1",
+			kkt.Compiles())
+	}
+}

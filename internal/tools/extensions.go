@@ -284,7 +284,13 @@ func loadSensitivityTool(ctx *session.Context, eng *engine.Engine) *Tool {
 					buses = append(buses, prices[i].BusID)
 				}
 			}
-			impacts, err := sensitivity.LoadImpacts(n, base, buses, delta)
+			// Run the impact re-solves in the case's pooled KKT context:
+			// the load modifications keep the compiled pattern valid, so
+			// a warm pool means zero symbolic work for the whole sweep.
+			sig := eng.Artifacts(n).Sig
+			kkt := eng.AcquireOPF(sig)
+			impacts, err := sensitivity.LoadImpacts(n, base, buses, delta, kkt)
+			eng.ReleaseOPF(sig, kkt)
 			if err != nil {
 				return nil, err
 			}

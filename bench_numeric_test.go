@@ -12,6 +12,8 @@ import (
 	"gridmind/internal/model"
 	"gridmind/internal/opf"
 	"gridmind/internal/powerflow"
+	"gridmind/internal/ptdf"
+	"gridmind/internal/scenario"
 	"gridmind/internal/scopf"
 	"gridmind/internal/session"
 )
@@ -19,10 +21,11 @@ import (
 // Numeric-core benchmarks tracked in BENCH_numeric.json: Ybus assembly,
 // a full Newton solve, the N-1 branch and generation sweeps, the N-2
 // screening pipeline, the interior-point ACOPF, the SCOPF loop, the
-// session snapshot cache and the multi-session serving path, each over
-// the paper-scale cases. Regenerate the JSON with:
+// session snapshot cache, the multi-session serving path, the N-k
+// cascade sweep and the Monte Carlo reliability loop, each over the
+// paper-scale cases. Regenerate the JSON with:
 //
-//	go test -run '^$' -bench 'BuildYbus|NewtonSolve|N1Sweep|GenSweep|N2Screen|ACOPF|SCOPF|SessionNetwork|ConcurrentAsk' -benchmem .
+//	go test -run '^$' -bench 'BuildYbus|NewtonSolve|N1Sweep|GenSweep|N2Screen|ACOPF|SCOPF|SessionNetwork|ConcurrentAsk|Cascade|MCReliability' -benchmem .
 
 func benchBuildYbus(b *testing.B, caseName string) {
 	n := cases.MustLoad(caseName)
@@ -234,6 +237,77 @@ func BenchmarkConcurrentAsk8(b *testing.B) {
 	wg.Wait()
 	if failed.Load() {
 		b.Fatal("concurrent ask failed")
+	}
+}
+
+// BenchmarkCascadeCase57 measures the full N-k cascade sweep with the
+// lazy-LODF DC pre-screen: every in-service branch seeds a
+// trip-threshold propagation to depth 3 on pooled zero-clone contexts.
+// Workers pinned to 1 and artifacts (Ybus/topology/PTDF) built outside
+// the measured loop, matching the CI guard protocol.
+func BenchmarkCascadeCase57(b *testing.B) {
+	n := cases.MustLoad("case57")
+	base, err := powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ptdfM, err := ptdf.Build(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := scenario.Options{
+		BaseYbus: model.BuildYbus(n),
+		Topology: model.NewTopology(n),
+		Pool:     scenario.NewPool(),
+		DCScreen: true,
+		PTDF:     ptdfM,
+		Workers:  1,
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sw, err := scenario.Sweep(n, base, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sw.Seeds == 0 || sw.Screened == 0 {
+			b.Fatal("degenerate sweep")
+		}
+	}
+}
+
+// BenchmarkMCReliability measures the seeded Monte Carlo reliability
+// loop on case57: 64 draws per op through the cascade engine on pooled
+// contexts, single worker (the machine-independent guard protocol).
+func BenchmarkMCReliability(b *testing.B) {
+	n := cases.MustLoad("case57")
+	base, err := powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := scenario.Options{
+		BaseYbus: model.BuildYbus(n),
+		Topology: model.NewTopology(n),
+		Pool:     scenario.NewPool(),
+		Workers:  1,
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mc, err := scenario.RunMC(n, base, scenario.MCOptions{
+			Samples:          64,
+			Seed:             2026,
+			BranchOutageProb: 0.01,
+			GenOutageProb:    0.005,
+			LoadSigma:        0.03,
+			Cascade:          opts,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mc.Samples != 64 {
+			b.Fatal("bad sample count")
+		}
 	}
 }
 

@@ -17,6 +17,8 @@ import (
 	"gridmind/internal/model"
 	"gridmind/internal/opf"
 	"gridmind/internal/powerflow"
+	"gridmind/internal/ptdf"
+	"gridmind/internal/scenario"
 	"gridmind/internal/scopf"
 	"gridmind/internal/session"
 )
@@ -84,7 +86,10 @@ type guardRow struct {
 //     log — a reintroduced per-call clone/replay trips the alloc arm);
 //   - the 8-session concurrent serving workload over one shared engine
 //     (the PR 5 multi-session path; per-ask allocations are the
-//     machine-independent arm).
+//     machine-independent arm);
+//   - the N-k cascade sweep on case57 (pooled zero-clone contexts +
+//     lazy-LODF DC pre-screen) and the 64-draw seeded Monte Carlo
+//     reliability loop (the PR 7 scenario engine).
 func runBenchGuard(baselinePath, outPath, caseName string, tol float64) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -229,6 +234,72 @@ func runBenchGuard(baselinePath, outPath, caseName string, tol float64) error {
 					wg.Wait()
 					if failed.Load() {
 						b.Fatal("concurrent ask failed")
+					}
+				}
+			}(),
+		},
+		{
+			// The scenario engine's N-k cascade sweep: 80 seeds propagated
+			// to depth 3 on pooled zero-clone contexts with the lazy-LODF DC
+			// pre-screen. A reintroduced per-stage clone (or a dead screen)
+			// shows up in the machine-independent allocs/op arm.
+			name: "BenchmarkCascadeCase57",
+			run: func() func(b *testing.B) {
+				ptdfM, err := ptdf.Build(case57)
+				if err != nil {
+					return func(b *testing.B) { b.Fatal(err) }
+				}
+				opts := scenario.Options{
+					BaseYbus: model.BuildYbus(case57),
+					Topology: model.NewTopology(case57),
+					Pool:     scenario.NewPool(),
+					DCScreen: true,
+					PTDF:     ptdfM,
+					Workers:  1,
+				}
+				return func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						sw, err := scenario.Sweep(case57, base57, opts)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if sw.Seeds == 0 || sw.Screened == 0 {
+							b.Fatal("degenerate sweep")
+						}
+					}
+				}
+			}(),
+		},
+		{
+			// 64 seeded Monte Carlo reliability draws through the cascade
+			// engine (per-sample splitmix64 RNG, so the workload is
+			// bit-identical every run and at any worker count).
+			name: "BenchmarkMCReliability",
+			run: func() func(b *testing.B) {
+				opts := scenario.Options{
+					BaseYbus: model.BuildYbus(case57),
+					Topology: model.NewTopology(case57),
+					Pool:     scenario.NewPool(),
+					Workers:  1,
+				}
+				return func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						mc, err := scenario.RunMC(case57, base57, scenario.MCOptions{
+							Samples:          64,
+							Seed:             2026,
+							BranchOutageProb: 0.01,
+							GenOutageProb:    0.005,
+							LoadSigma:        0.03,
+							Cascade:          opts,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						if mc.Samples != 64 {
+							b.Fatal("bad sample count")
+						}
 					}
 				}
 			}(),

@@ -38,6 +38,7 @@ import (
 	"gridmind/internal/model"
 	"gridmind/internal/opf"
 	"gridmind/internal/powerflow"
+	"gridmind/internal/scenario"
 	"gridmind/internal/session"
 	"gridmind/internal/simclock"
 )
@@ -90,6 +91,25 @@ type (
 	// FaultSpec configures deterministic fault injection for chaos testing
 	// (see NewChaosClient).
 	FaultSpec = llm.FaultSpec
+	// ScenarioOptions configures cascade studies, sweeps and episodes.
+	ScenarioOptions = scenario.Options
+	// CascadeEvent is one initiating disturbance for a cascade study.
+	CascadeEvent = scenario.Event
+	// CascadeResult is a full N-k cascade record: stage-by-stage trips,
+	// violations and the terminal outcome.
+	CascadeResult = scenario.CascadeResult
+	// CascadeSweepResult aggregates cascades seeded from every in-service
+	// branch outage.
+	CascadeSweepResult = scenario.SweepResult
+	// EpisodeStep is one operating point of a time-series episode.
+	EpisodeStep = scenario.EpisodeStep
+	// EpisodeResult aggregates a solved time-series episode.
+	EpisodeResult = scenario.EpisodeResult
+	// MCOptions configures Monte Carlo reliability sampling.
+	MCOptions = scenario.MCOptions
+	// MCResult is a Monte Carlo reliability estimate with Wilson 95%
+	// confidence intervals.
+	MCResult = scenario.MCResult
 )
 
 // NewEngine returns a fresh shared artifact store. Hand the same engine to
@@ -146,6 +166,31 @@ func AnalyzeContingencies(n *Network, base *PowerFlowResult) (*ContingencySet, e
 // AssessQuality scores a solution on the paper's 0-10 quality rubric.
 func AssessQuality(n *Network, sol *ACOPFSolution) Quality {
 	return opf.AssessQuality(n, sol)
+}
+
+// RunCascade propagates one initiating event through protection-style
+// trip rounds (N-k) on the zero-clone stacked-view path.
+func RunCascade(n *Network, base *PowerFlowResult, ev CascadeEvent, opts ScenarioOptions) (*CascadeResult, error) {
+	return scenario.Cascade(n, base, ev, opts)
+}
+
+// RunCascadeSweep cascades every in-service branch outage as a seed,
+// optionally DC pre-screening the provably non-cascading ones.
+func RunCascadeSweep(n *Network, base *PowerFlowResult, opts ScenarioOptions) (*CascadeSweepResult, error) {
+	return scenario.Sweep(n, base, opts)
+}
+
+// RunEpisode drives a time-series of operating points (load curve,
+// dispatch overrides, maintenance outages) with warm-started re-solves.
+func RunEpisode(n *Network, base *PowerFlowResult, steps []EpisodeStep, opts ScenarioOptions) (*EpisodeResult, error) {
+	return scenario.Episode(n, base, steps, opts)
+}
+
+// RunReliabilityMC estimates loss-of-load, overload and cascade
+// probabilities by seeded Monte Carlo sampling; fixed seeds replay
+// bit-identically at any worker count.
+func RunReliabilityMC(n *Network, base *PowerFlowResult, mo MCOptions) (*MCResult, error) {
+	return scenario.RunMC(n, base, mo)
 }
 
 // Options configures a GridMind conversational session.

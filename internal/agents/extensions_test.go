@@ -110,3 +110,58 @@ func TestSensitivityWithExplicitBusAndDelta(t *testing.T) {
 		t.Fatal("sensitivity tool not invoked")
 	}
 }
+
+func TestCascadeThroughConversation(t *testing.T) {
+	c, _, _ := newTestCoordinator(t, llm.ModelGPTO3, 31)
+	ex, err := c.Handle(context.Background(),
+		"Run a cascading failure study on IEEE 57 starting from the outage of line 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Success {
+		t.Fatalf("cascade exchange failed: %q", ex.Reply)
+	}
+	if !strings.Contains(ex.Reply, "Cascade study") {
+		t.Fatalf("reply lacks the cascade narration: %q", ex.Reply)
+	}
+	if ex.Turns[0].Agent != CAAgentName {
+		t.Fatalf("routed to %s", ex.Turns[0].Agent)
+	}
+}
+
+func TestCascadeSweepThroughConversation(t *testing.T) {
+	c, _, _ := newTestCoordinator(t, llm.ModelGPT5Mini, 32)
+	ex, err := c.Handle(context.Background(),
+		"Which outages could trigger cascading failures in IEEE 57?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Success {
+		t.Fatalf("cascade sweep exchange failed: %q", ex.Reply)
+	}
+	for _, want := range []string{"Cascade sweep", "Worst seed"} {
+		if !strings.Contains(ex.Reply, want) {
+			t.Fatalf("reply lacks %q: %q", want, ex.Reply)
+		}
+	}
+}
+
+func TestReliabilityMCThroughConversation(t *testing.T) {
+	c, _, _ := newTestCoordinator(t, llm.ModelGPTO3, 33)
+	ex, err := c.Handle(context.Background(),
+		"Estimate the loss of load probability for IEEE 30 with a Monte Carlo study")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Success {
+		t.Fatalf("Monte Carlo exchange failed: %q", ex.Reply)
+	}
+	for _, want := range []string{"Loss-of-load probability", "95% CI"} {
+		if !strings.Contains(ex.Reply, want) {
+			t.Fatalf("reply lacks %q: %q", want, ex.Reply)
+		}
+	}
+	if ex.Turns[0].Agent != CAAgentName {
+		t.Fatalf("routed to %s", ex.Turns[0].Agent)
+	}
+}

@@ -45,7 +45,7 @@ func Plan(query string) []Assignment {
 var (
 	reSplit       = regexp.MustCompile(`(?i)\s*(?:[,;]\s*|\.\s+)?(?:and\s+)?then\s+`)
 	reCasePlanner = regexp.MustCompile(`(?i)(?:case|ieee)[\s-]*\d+`)
-	reCAWords     = regexp.MustCompile(`(?i)contingenc|critical|n-1|t-1|outage|reliab|vulnerab|reinforc`)
+	reCAWords     = regexp.MustCompile(`(?i)contingenc|critical|n-1|t-1|n-k|outage|reliab|vulnerab|reinforc|cascad|monte[\s-]carlo|loss[\s-]of[\s-]load|lolp`)
 	reACWords     = regexp.MustCompile(`(?i)solve|opf|optimal|dispatch|load|cost|status|voltage`)
 )
 

@@ -1,0 +1,60 @@
+package cases
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LoadCurve returns a deterministic demand-multiplier profile of the
+// given length: a double-peak diurnal shape (morning and evening peaks
+// over a night valley) with small seeded noise, spanning roughly
+// 0.72–1.12 of nominal demand. The same (steps, seed) pair always yields
+// the same curve — episode tests and benchmarks replay it bit-for-bit.
+func LoadCurve(steps int, seed int64) []float64 {
+	if steps <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, steps)
+	for i := range out {
+		// t sweeps one day regardless of resolution.
+		t := float64(i) / float64(steps)
+		diurnal := 0.92 - 0.14*math.Cos(2*math.Pi*t) + 0.06*math.Cos(4*math.Pi*(t-0.08))
+		out[i] = diurnal + 0.015*rng.NormFloat64()
+		if out[i] < 0.6 {
+			out[i] = 0.6
+		}
+	}
+	return out
+}
+
+// SolarCurve returns a deterministic solar-injection profile in [0, 1]
+// of nameplate: zero overnight, a clear-sky bell through the day, with
+// seeded cloud transients carving it down. Scale by a unit's capacity to
+// get an episode's renewable dispatch override.
+func SolarCurve(steps int, seed int64) []float64 {
+	if steps <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, steps)
+	cloud := 1.0
+	for i := range out {
+		t := float64(i) / float64(steps)
+		// Daylight spans t in (0.25, 0.75); the bell is sin² over it.
+		var clear float64
+		if t > 0.25 && t < 0.75 {
+			s := math.Sin(2 * math.Pi * (t - 0.25))
+			clear = s * s
+		}
+		// Cloud cover follows a bounded seeded random walk.
+		cloud += 0.15 * rng.NormFloat64()
+		if cloud > 1 {
+			cloud = 1
+		} else if cloud < 0.3 {
+			cloud = 0.3
+		}
+		out[i] = clear * cloud
+	}
+	return out
+}

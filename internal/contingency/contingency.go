@@ -474,6 +474,12 @@ func severity(o *OutageResult, opts Options) float64 {
 	return s
 }
 
+// EstimateLoadShed estimates the demand (MW) that must be shed to restore
+// power flow solvability on an unsolvable post-outage network — the same
+// bisection the sweeps use for collapse records, exported so the cascade
+// engine's collapse accounting shares one rule with the N-1/N-2 paths.
+func EstimateLoadShed(post *model.Network) float64 { return estimateLoadShed(post) }
+
 // estimateLoadShed bisects a uniform load scaling until the post-outage
 // power flow solves, returning the shed demand in MW. This approximates
 // the "involuntary load shedding" the paper's CA evaluates.

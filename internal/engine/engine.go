@@ -29,6 +29,7 @@ import (
 	"gridmind/internal/opf"
 	"gridmind/internal/powerflow"
 	"gridmind/internal/ptdf"
+	"gridmind/internal/scenario"
 )
 
 // Engine is a concurrency-safe, process-wide artifact store. The zero
@@ -39,6 +40,7 @@ type Engine struct {
 	structs  map[string]*Artifacts
 	opfFree  map[string][]*opf.Context
 	sweeps   map[string]*contingency.SweepPool
+	scn      map[string]*scenario.Pool
 	basePF   map[string]*basePFEntry
 
 	// maxSweepStates bounds the sweep-pool map: pools are keyed by full
@@ -59,6 +61,7 @@ type engineStats struct {
 	ptdfBuilds                   atomic.Int64
 	opfReuses, opfCreates        atomic.Int64
 	sweepPoolHits, sweepPoolNew  atomic.Int64
+	scnPoolHits, scnPoolNew      atomic.Int64
 	basePFHits, basePFSolves     atomic.Int64
 }
 
@@ -79,6 +82,9 @@ type Stats struct {
 	OPFReuses, OPFCreates int64
 	// SweepPoolHits/SweepPoolNew count sweep-pool lookups by session state.
 	SweepPoolHits, SweepPoolNew int64
+	// ScenarioPoolHits/ScenarioPoolNew count scenario-pool lookups by
+	// session state (cascade / episode / Monte Carlo worker contexts).
+	ScenarioPoolHits, ScenarioPoolNew int64
 	// BasePFHits/BasePFSolves count base power flows served from the
 	// state-keyed memo vs. actually solved.
 	BasePFHits, BasePFSolves int64
@@ -91,6 +97,7 @@ func New() *Engine {
 		structs:        make(map[string]*Artifacts),
 		opfFree:        make(map[string][]*opf.Context),
 		sweeps:         make(map[string]*contingency.SweepPool),
+		scn:            make(map[string]*scenario.Pool),
 		basePF:         make(map[string]*basePFEntry),
 		maxSweepStates: 64,
 	}
@@ -106,19 +113,21 @@ func Default() *Engine { return defaultEngine }
 // Stats snapshots the reuse counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		PristineHits:   e.stats.pristineHits.Load(),
-		PristineMisses: e.stats.pristineMisses.Load(),
-		StructHits:     e.stats.structHits.Load(),
-		StructMisses:   e.stats.structMisses.Load(),
-		YbusBuilds:     e.stats.ybusBuilds.Load(),
-		TopoBuilds:     e.stats.topoBuilds.Load(),
-		PTDFBuilds:     e.stats.ptdfBuilds.Load(),
-		OPFReuses:      e.stats.opfReuses.Load(),
-		OPFCreates:     e.stats.opfCreates.Load(),
-		SweepPoolHits:  e.stats.sweepPoolHits.Load(),
-		SweepPoolNew:   e.stats.sweepPoolNew.Load(),
-		BasePFHits:     e.stats.basePFHits.Load(),
-		BasePFSolves:   e.stats.basePFSolves.Load(),
+		PristineHits:     e.stats.pristineHits.Load(),
+		PristineMisses:   e.stats.pristineMisses.Load(),
+		StructHits:       e.stats.structHits.Load(),
+		StructMisses:     e.stats.structMisses.Load(),
+		YbusBuilds:       e.stats.ybusBuilds.Load(),
+		TopoBuilds:       e.stats.topoBuilds.Load(),
+		PTDFBuilds:       e.stats.ptdfBuilds.Load(),
+		OPFReuses:        e.stats.opfReuses.Load(),
+		OPFCreates:       e.stats.opfCreates.Load(),
+		SweepPoolHits:    e.stats.sweepPoolHits.Load(),
+		SweepPoolNew:     e.stats.sweepPoolNew.Load(),
+		ScenarioPoolHits: e.stats.scnPoolHits.Load(),
+		ScenarioPoolNew:  e.stats.scnPoolNew.Load(),
+		BasePFHits:       e.stats.basePFHits.Load(),
+		BasePFSolves:     e.stats.basePFSolves.Load(),
 	}
 }
 
@@ -380,5 +389,24 @@ func (e *Engine) SweepPool(stateKey string) *contingency.SweepPool {
 	e.stats.sweepPoolNew.Add(1)
 	p := contingency.NewSweepPool()
 	e.sweeps[stateKey] = p
+	return p
+}
+
+// ScenarioPool returns the scenario worker-context pool (cascade /
+// episode / Monte Carlo) for one session state, with the same keying,
+// sharing and bounded-map semantics as SweepPool.
+func (e *Engine) ScenarioPool(stateKey string) *scenario.Pool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.scn[stateKey]; ok {
+		e.stats.scnPoolHits.Add(1)
+		return p
+	}
+	if len(e.scn) >= e.maxSweepStates {
+		e.scn = make(map[string]*scenario.Pool)
+	}
+	e.stats.scnPoolNew.Add(1)
+	p := scenario.NewPool()
+	e.scn[stateKey] = p
 	return p
 }

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestScenarioBench(t *testing.T) {
+	rows, err := Scenario(context.Background(), Config{Cases: []string{"case30", "case57"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Seeds <= 0 {
+			t.Fatalf("%s: no seeds studied", r.Case)
+		}
+		if r.Screened+r.Stable+r.Islanded+r.Collapsed > r.Seeds {
+			t.Fatalf("%s: outcome counts exceed seeds: %+v", r.Case, r)
+		}
+		if r.EpisodeSteps != 24 {
+			t.Fatalf("%s: %d episode steps converged", r.Case, r.EpisodeSteps)
+		}
+		if r.MCSamples != scenarioMCSamples {
+			t.Fatalf("%s: %d MC samples", r.Case, r.MCSamples)
+		}
+		if r.LOLPLo > r.LOLP || r.LOLP > r.LOLPHi {
+			t.Fatalf("%s: malformed LOLP interval %+v", r.Case, r)
+		}
+	}
+	var b strings.Builder
+	FormatScenario(&b, rows)
+	if !strings.Contains(b.String(), "case57") {
+		t.Fatalf("formatted table:\n%s", b.String())
+	}
+}

@@ -24,6 +24,8 @@ type intent struct {
 	sensitivity bool
 	compare     bool
 	genOutBus   int // generator outage at this bus, -1 when absent
+	cascade     bool
+	mc          bool
 }
 
 type modIntent struct {
@@ -74,6 +76,8 @@ func parseIntent(text string) intent {
 	in.sensitivity = hasAny("sensitivity", "sensitivities", "marginal price", "lmp", "impact of load", "price map")
 	in.compare = hasAny("security-constrained", "secure dispatch", "scopf", "security premium") ||
 		(hasAny("compare") && hasAny("economic", "secure"))
+	in.cascade = hasAny("cascade", "cascading", "n-k", "domino", "trip sequence")
+	in.mc = hasAny("monte carlo", "monte-carlo", "lolp", "loss of load", "loss-of-load", "probabilistic")
 
 	if m := reModify.FindStringSubmatch(text); m != nil {
 		verb := strings.ToLower(m[1])
@@ -106,10 +110,10 @@ func parseIntent(text string) intent {
 	if m := reBusPair.FindStringSubmatch(text); m != nil {
 		in.fromBus, _ = strconv.Atoi(m[1])
 		in.toBus, _ = strconv.Atoi(m[2])
-	} else if in.conting {
+	} else if in.conting || in.cascade {
 		// A bare branch number only counts when the phrasing is about an
 		// outage, not e.g. "line limits".
-		if m := reBranch.FindStringSubmatch(text); m != nil && hasAny("outage", "remove", "removing", "trip", "take out", "analyze", "analyse") {
+		if m := reBranch.FindStringSubmatch(text); m != nil && hasAny("outage", "remove", "removing", "trip", "take out", "analyze", "analyse", "cascade", "cascading") {
 			in.branch, _ = strconv.Atoi(m[1])
 		}
 	}

@@ -190,6 +190,39 @@ func (s *SimClient) decideCA(in intent, results []toolResult, avail map[string]b
 			"I could not complete the analysis: %q is not a supported test case. Supported systems are IEEE 14, 30, 57, 118 and 300.",
 			in.badCase))
 	}
+	if in.mc && avail["run_reliability_mc"] {
+		if !hasResult(results, "solve_base_case") {
+			args := map[string]any{}
+			if in.caseName != "" {
+				args["case_name"] = in.caseName
+			}
+			return toolCallMsg("solve_base_case", args)
+		}
+		if !hasResult(results, "run_reliability_mc") {
+			return toolCallMsg("run_reliability_mc", map[string]any{"seed": 1})
+		}
+		return assistantText(s.narrateMC(results))
+	}
+	if in.cascade && avail["run_cascade_study"] {
+		if !hasResult(results, "solve_base_case") {
+			args := map[string]any{}
+			if in.caseName != "" {
+				args["case_name"] = in.caseName
+			}
+			return toolCallMsg("solve_base_case", args)
+		}
+		if !hasResult(results, "run_cascade_study") {
+			args := map[string]any{}
+			if in.branch >= 0 {
+				args["branches"] = []any{in.branch}
+			}
+			if in.genOutBus >= 0 {
+				args["gen_buses"] = []any{in.genOutBus}
+			}
+			return toolCallMsg("run_cascade_study", args)
+		}
+		return assistantText(s.narrateCascade(results))
+	}
 	if in.genOutBus >= 0 && avail["analyze_generator_outage"] {
 		if !hasResult(results, "analyze_generator_outage") {
 			return toolCallMsg("analyze_generator_outage", map[string]any{"bus": in.genOutBus})
@@ -631,4 +664,54 @@ func (s *SimClient) narrateCAStatus(results []toolResult) string {
 	return fmt.Sprintf("A contingency sweep exists (%s): %.0f outages, %.0f secure, %.0f with overloads. Cache holds %.0f entries (%.0f hits / %.0f misses).",
 		state, f(d, "total_outages"), f(d, "secure"), f(d, "with_overload"),
 		f(d, "cache_entries"), f(d, "cache_hits"), f(d, "cache_misses"))
+}
+
+func (s *SimClient) narrateCascade(results []toolResult) string {
+	d := lastData(results, "run_cascade_study")
+	if d == nil {
+		return "The cascade study produced no structured result."
+	}
+	var b strings.Builder
+	if mode, _ := d["mode"].(string); mode == "sweep" {
+		fmt.Fprintf(&b, "Cascade sweep on %s: %.0f seed outages studied (%.0f screened out as non-cascading) — %.0f stable, %.0f cascading beyond the seed, %.0f islanding, %.0f collapsing.",
+			d["case_name"], f(d, "seeds"), f(d, "screened"), f(d, "stable"),
+			f(d, "cascaded"), f(d, "islanded"), f(d, "collapsed"))
+		fmt.Fprintf(&b, " Worst seed: branch %.0f (severity %.1f, up to %.2f MW shed).",
+			f(d, "worst_seed"), f(d, "worst_severity"), f(d, "max_shed_mw"))
+		return b.String()
+	}
+	outcome, _ := d["outcome"].(string)
+	fmt.Fprintf(&b, "Cascade study on %s: outcome %s after %.0f propagation round(s).",
+		d["case_name"], outcome, f(d, "depth"))
+	if seq, _ := d["trip_sequence"].([]any); len(seq) > 0 {
+		parts := make([]string, 0, len(seq))
+		for _, v := range seq {
+			parts = append(parts, fmt.Sprintf("%.0f", v))
+		}
+		fmt.Fprintf(&b, " Trip sequence: branches %s.", strings.Join(parts, " → "))
+	}
+	if shed := f(d, "load_shed_mw"); shed > 0 {
+		fmt.Fprintf(&b, " Estimated %.2f MW of load shed.", shed)
+	}
+	fmt.Fprintf(&b, " Severity score %.2f.", f(d, "severity"))
+	return b.String()
+}
+
+func (s *SimClient) narrateMC(results []toolResult) string {
+	d := lastData(results, "run_reliability_mc")
+	if d == nil {
+		return "The Monte Carlo reliability run produced no structured result."
+	}
+	lol, _ := d["loss_of_load"].(map[string]any)
+	ovl, _ := d["overload"].(map[string]any)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Monte Carlo reliability on %s: %.0f draws (seed %.0f).", d["case_name"], f(d, "samples"), f(d, "seed"))
+	if lol != nil {
+		fmt.Fprintf(&b, " Loss-of-load probability %.4f (95%% CI %.4f–%.4f).", f(lol, "p"), f(lol, "lo"), f(lol, "hi"))
+	}
+	if ovl != nil {
+		fmt.Fprintf(&b, " Overload probability %.4f (95%% CI %.4f–%.4f).", f(ovl, "p"), f(ovl, "lo"), f(ovl, "hi"))
+	}
+	fmt.Fprintf(&b, " Expected load shed %.2f MW per draw.", f(d, "mean_shed_mw"))
+	return b.String()
 }

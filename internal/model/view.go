@@ -20,6 +20,10 @@ type OutageView struct {
 	// sweep of redispatching views allocates the copy once, not per outage.
 	gens    []Generator
 	gensBuf []Generator
+	// loadScale is the uniform demand multiplier; 0 means unset (1.0).
+	// Episode and Monte Carlo scenarios use it to sweep operating points
+	// over one immutable base without cloning the load table.
+	loadScale float64
 }
 
 // NewOutageView returns an empty view over base (no outages, no overrides).
@@ -35,6 +39,7 @@ func (v *OutageView) Reset() {
 		v.gensBuf = v.gens
 		v.gens = nil
 	}
+	v.loadScale = 0
 }
 
 // OutBranch marks branch k as outaged in the view.
@@ -58,6 +63,19 @@ func (v *OutageView) SetGenP(g int, p float64) {
 	v.gens[g].P = p
 }
 
+// ScaleLoads sets a uniform demand multiplier on every in-service load
+// (both P and Q). Factors at or below zero, and exactly 1, mean nominal
+// demand.
+func (v *OutageView) ScaleLoads(f float64) { v.loadScale = f }
+
+// LoadScale returns the effective demand multiplier (1 when unset).
+func (v *OutageView) LoadScale() float64 {
+	if v.loadScale <= 0 {
+		return 1
+	}
+	return v.loadScale
+}
+
 // BranchesOut returns the outaged branch indices. Read-only.
 func (v *OutageView) BranchesOut() []int { return v.branchOut }
 
@@ -68,6 +86,14 @@ func (v *OutageView) GensOut() []int { return v.genOut }
 // redispatch) — such views change the power flow classification, not just
 // the admittance matrix.
 func (v *OutageView) HasGenChanges() bool { return len(v.genOut) > 0 || v.gens != nil }
+
+// HasSpecChanges reports whether the view changes the power flow
+// specification vectors at all — generation changes or a non-nominal load
+// scale. Solvers use it to decide between the pristine classification and
+// an in-place re-derivation.
+func (v *OutageView) HasSpecChanges() bool {
+	return v.HasGenChanges() || v.LoadScale() != 1
+}
 
 // BranchInService reports the effective status of branch k under the view.
 func (v *OutageView) BranchInService(k int) bool {
@@ -136,6 +162,13 @@ func (v *OutageView) Materialize() *Network {
 			n.Gens[g].InService = false
 		}
 	}
+	if ls := v.LoadScale(); ls != 1 {
+		n.Loads = append([]Load(nil), v.Base.Loads...)
+		for i := range n.Loads {
+			n.Loads[i].P *= ls
+			n.Loads[i].Q *= ls
+		}
+	}
 	return n
 }
 
@@ -188,6 +221,41 @@ func NewTopology(n *Network) *Topology {
 // equality is meaningful to callers.
 func (t *Topology) Islands(skip int, comp, stack []int) int {
 	return t.Islands2(skip, -1, comp, stack)
+}
+
+// IslandsMasked labels connected components with every branch k having
+// mask[k] == true removed — the N-k generalization of Islands/Islands2
+// that cascade studies need once the cumulative trip set exceeds two. A
+// nil mask removes nothing. Like the fixed-arity variants it writes into
+// caller-owned buffers and allocates nothing; the mask lookup is O(1) per
+// edge, so deep cascades pay no membership scan.
+func (t *Topology) IslandsMasked(mask []bool, comp, stack []int) int {
+	for i := range comp[:t.N] {
+		comp[i] = -1
+	}
+	count := 0
+	for s := 0; s < t.N; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = count
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for p := t.ptr[v]; p < t.ptr[v+1]; p++ {
+				if mask != nil && mask[t.br[p]] {
+					continue
+				}
+				if w := t.bus[p]; comp[w] == -1 {
+					comp[w] = count
+					stack = append(stack, w)
+				}
+			}
+		}
+		count++
+	}
+	return count
 }
 
 // Islands2 is Islands with TWO branches removed — the N-2 connectivity

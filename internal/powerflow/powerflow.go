@@ -336,6 +336,9 @@ type resultScratch struct {
 	// genP is the effective per-generator dispatch in MW: base setpoints,
 	// or the view's redispatch overrides after configureView.
 	genP []float64
+	// loadScaled records that loadP/loadQ currently hold a view's scaled
+	// demand and must be re-accumulated before the next nominal solve.
+	loadScaled bool
 }
 
 // newResultScratch precomputes the cache for n. The aggregation order
@@ -380,18 +383,41 @@ func (sc *resultScratch) configure(n *model.Network, inService func(int) bool, g
 }
 
 // configureView repoints the scratch at the view's effective fleet —
-// status mask applied, dispatch overrides carried. Loads never change
-// under views.
+// status mask applied, dispatch overrides carried — and at its effective
+// demand when the view scales loads.
 func (sc *resultScratch) configureView(n *model.Network, view *model.OutageView) {
 	sc.configure(n, view.GenInService, func(gi int) float64 { return view.Gen(gi).P })
+	sc.applyLoadScale(n, view.LoadScale())
 }
 
-// configureBase resets the scratch to the base network's fleet, undoing a
-// configureView.
+// configureBase resets the scratch to the base network's fleet and
+// nominal demand, undoing a configureView.
 func (sc *resultScratch) configureBase(n *model.Network) {
 	sc.configure(n,
 		func(gi int) bool { return n.Gens[gi].InService },
 		func(gi int) float64 { return n.Gens[gi].P })
+	sc.applyLoadScale(n, 1)
+}
+
+// applyLoadScale re-accumulates the per-bus load aggregation under a
+// uniform demand multiplier, in the same visit order and with the same
+// per-load arithmetic as a scratch built fresh over a materialized scaled
+// network — so view and clone result assembly read identical demand. The
+// common ls == 1 case over an unscaled scratch is a no-op.
+func (sc *resultScratch) applyLoadScale(n *model.Network, ls float64) {
+	if ls == 1 && !sc.loadScaled {
+		return
+	}
+	for b := range sc.loadP {
+		sc.loadP[b], sc.loadQ[b] = 0, 0
+	}
+	for _, l := range n.Loads {
+		if l.InService {
+			sc.loadP[l.Bus] += l.P * ls
+			sc.loadQ[l.Bus] += l.Q * ls
+		}
+	}
+	sc.loadScaled = ls != 1
 }
 
 // finishResult computes flows, losses, generator allocations and extrema.

@@ -188,9 +188,10 @@ func (s *ViewSolver) Solve(view *model.OutageView, opts Options) (*Result, error
 
 	var c classification
 	vm, va := s.vm, s.va
-	if view.HasGenChanges() {
-		// In-place gen path: owned spec buffers derived from the view's
-		// effective fleet, result scratch repointed the same way.
+	if view.HasSpecChanges() {
+		// In-place spec path (gen outages, redispatch, load scaling): owned
+		// spec buffers derived from the view's effective fleet and demand,
+		// result scratch repointed the same way.
 		c = s.classifyView(view)
 		s.rsc.configureView(s.base, view)
 		s.rscView = true
@@ -268,12 +269,18 @@ func (s *ViewSolver) classifyView(view *model.OutageView) classification {
 		s.qMinBuf[g.Bus] += g.QMin / n.BaseMVA
 		s.qMaxBuf[g.Bus] += g.QMax / n.BaseMVA
 	}
+	// Demand accumulates under the view's uniform scale. The scaled terms
+	// are computed exactly as Materialize stores them (multiply first, then
+	// the BaseMVA division), so the spec vectors still match the
+	// materialized network bitwise; at scale 1 the multiplication is an
+	// exact identity.
+	ls := view.LoadScale()
 	for _, l := range n.Loads {
 		if !l.InService {
 			continue
 		}
-		s.pSpecBuf[l.Bus] -= l.P / n.BaseMVA
-		s.qSpec[l.Bus] -= l.Q / n.BaseMVA
+		s.pSpecBuf[l.Bus] -= (l.P * ls) / n.BaseMVA
+		s.qSpec[l.Bus] -= (l.Q * ls) / n.BaseMVA
 	}
 	c := classification{
 		slack:   s.c0.slack,

@@ -1,0 +1,287 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"gridmind/internal/cases"
+	"gridmind/internal/model"
+	"gridmind/internal/powerflow"
+	"gridmind/internal/ptdf"
+)
+
+// The cascade differential harness: for every in-service seed outage of
+// the paper's mid-size cases, the zero-clone stacked-view cascade must
+// reproduce the brute-force clone-and-resolve reference — the SAME trip
+// sequence stage by stage, and every flows/voltage-derived metric to
+// 1e-9. Trip selection feeds back into topology (each stage's selection
+// decides the next stage's patches), so any divergence compounds: an
+// exact sequence match is the strongest pin the cascade engine has.
+
+const diffTol = 1e-9
+
+func close9(a, b float64) bool {
+	return math.Abs(a-b) <= diffTol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func solveBase(t *testing.T, n *model.Network) *powerflow.Result {
+	t.Helper()
+	res, err := powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("base case did not converge")
+	}
+	return res
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func diffStage(ref, got *Stage) error {
+	switch {
+	case !sameInts(ref.Trips, got.Trips):
+		return fmt.Errorf("trips %v vs %v", ref.Trips, got.Trips)
+	case !sameInts(ref.NextTrips, got.NextTrips):
+		return fmt.Errorf("next trips %v vs %v", ref.NextTrips, got.NextTrips)
+	case ref.Islanded != got.Islanded:
+		return fmt.Errorf("islanded %v vs %v", ref.Islanded, got.Islanded)
+	case ref.Converged != got.Converged:
+		return fmt.Errorf("converged %v vs %v", ref.Converged, got.Converged)
+	case ref.Algorithm != got.Algorithm:
+		return fmt.Errorf("algorithm %q vs %q", ref.Algorithm, got.Algorithm)
+	case !close9(ref.MaxLoadingPct, got.MaxLoadingPct):
+		return fmt.Errorf("max loading %v vs %v", ref.MaxLoadingPct, got.MaxLoadingPct)
+	case !close9(ref.MinVoltagePU, got.MinVoltagePU):
+		return fmt.Errorf("min voltage %v vs %v", ref.MinVoltagePU, got.MinVoltagePU)
+	case !close9(ref.RedispatchMW, got.RedispatchMW):
+		return fmt.Errorf("redispatch %v vs %v", ref.RedispatchMW, got.RedispatchMW)
+	case len(ref.Overloads) != len(got.Overloads):
+		return fmt.Errorf("%d overloads vs %d", len(ref.Overloads), len(got.Overloads))
+	case len(ref.VoltViols) != len(got.VoltViols):
+		return fmt.Errorf("%d voltage violations vs %d", len(ref.VoltViols), len(got.VoltViols))
+	}
+	for i := range ref.Overloads {
+		r, g := ref.Overloads[i], got.Overloads[i]
+		if r.Branch != g.Branch || !close9(r.LoadingPct, g.LoadingPct) {
+			return fmt.Errorf("overload %d: (%d, %v) vs (%d, %v)", i, r.Branch, r.LoadingPct, g.Branch, g.LoadingPct)
+		}
+	}
+	for i := range ref.VoltViols {
+		r, g := ref.VoltViols[i], got.VoltViols[i]
+		if r.BusID != g.BusID || r.Low != g.Low || !close9(r.VmPU, g.VmPU) {
+			return fmt.Errorf("voltage violation %d: %+v vs %+v", i, r, g)
+		}
+	}
+	return nil
+}
+
+func diffCascade(ref, got *CascadeResult) error {
+	switch {
+	case ref.Outcome != got.Outcome:
+		return fmt.Errorf("outcome %q vs %q", ref.Outcome, got.Outcome)
+	case ref.Depth != got.Depth:
+		return fmt.Errorf("depth %d vs %d", ref.Depth, got.Depth)
+	case !sameInts(ref.TrippedBranches, got.TrippedBranches):
+		return fmt.Errorf("trip sequence %v vs %v", ref.TrippedBranches, got.TrippedBranches)
+	case !sameInts(ref.GensOut, got.GensOut):
+		return fmt.Errorf("gens out %v vs %v", ref.GensOut, got.GensOut)
+	case !close9(ref.LoadShedMW, got.LoadShedMW):
+		return fmt.Errorf("load shed %v vs %v", ref.LoadShedMW, got.LoadShedMW)
+	case !close9(ref.LostGenMW, got.LostGenMW):
+		return fmt.Errorf("lost gen %v vs %v", ref.LostGenMW, got.LostGenMW)
+	case !close9(ref.Severity, got.Severity):
+		return fmt.Errorf("severity %v vs %v", ref.Severity, got.Severity)
+	case len(ref.Stages) != len(got.Stages):
+		return fmt.Errorf("%d stages vs %d", len(ref.Stages), len(got.Stages))
+	}
+	for i := range ref.Stages {
+		if err := diffStage(&ref.Stages[i], &got.Stages[i]); err != nil {
+			return fmt.Errorf("stage %d: %v", i, err)
+		}
+	}
+	return nil
+}
+
+// TestCascadeDifferentialSeeds pins the stacked-view cascade against the
+// clone reference on EVERY in-service seed branch outage of case30 and
+// case57, at the default depth-3 protection rule. A stressed trip
+// threshold (105%) on a demand bump makes real multi-stage propagation
+// common rather than exceptional — arrested-at-stage-0 cascades would pin
+// nothing beyond the N-1 sweep.
+func TestCascadeDifferentialSeeds(t *testing.T) {
+	for _, name := range []string{"case30", "case57"} {
+		for _, cfg := range []struct {
+			label string
+			opts  Options
+			ev    func(k int) Event
+		}{
+			{
+				label: "default",
+				opts:  Options{},
+				ev:    func(k int) Event { return Event{Branches: []int{k}} },
+			},
+			{
+				label: "stressed",
+				opts:  Options{TripPct: 105, MaxTripsPerStage: 3},
+				ev:    func(k int) Event { return Event{Branches: []int{k}, LoadScale: 1.1} },
+			},
+		} {
+			t.Run(name+"/"+cfg.label, func(t *testing.T) {
+				n := cases.MustLoad(name)
+				base := solveBase(t, n)
+				refOpts, fastOpts := cfg.opts, cfg.opts
+				refOpts.ReferenceClone = true
+				var deepest int
+				for _, k := range n.InServiceBranches() {
+					ref, err := Cascade(n, base, cfg.ev(k), refOpts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := Cascade(n, base, cfg.ev(k), fastOpts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := diffCascade(ref, got); err != nil {
+						t.Fatalf("%s seed %d: view cascade diverges from clone reference: %v", name, k, err)
+					}
+					if got.Depth > deepest {
+						deepest = got.Depth
+					}
+				}
+				t.Logf("%s/%s: deepest cascade %d stages", name, cfg.label, deepest)
+			})
+		}
+	}
+}
+
+// TestCascadeDifferentialMixedEvents drives compound initiating events —
+// branch trips plus generator outages plus off-nominal demand, with
+// between-stage redispatch enabled — through both backends. These hit
+// every view dimension at once (Ybus patches, in-place classification,
+// load scaling, dispatch overrides).
+func TestCascadeDifferentialMixedEvents(t *testing.T) {
+	for _, name := range []string{"case30", "case57"} {
+		t.Run(name, func(t *testing.T) {
+			n := cases.MustLoad(name)
+			base := solveBase(t, n)
+			opts := Options{TripPct: 108, Redispatch: true}
+			refOpts := opts
+			refOpts.ReferenceClone = true
+			branches := n.InServiceBranches()
+			for i, k := range branches {
+				ev := Event{
+					Branches:  []int{k, branches[(i+7)%len(branches)]},
+					Gens:      []int{i % len(n.Gens)},
+					LoadScale: 1.05,
+				}
+				ref, err := Cascade(n, base, ev, refOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := Cascade(n, base, ev, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := diffCascade(ref, got); err != nil {
+					t.Fatalf("%s event %+v: %v", name, ev, err)
+				}
+			}
+		})
+	}
+}
+
+// TestCascadeSweepDifferential pins the full parallel sweep — worker
+// pool, context reuse, DC screen disabled so every seed is studied —
+// against the clone-backed sweep, including the aggregate classification.
+func TestCascadeSweepDifferential(t *testing.T) {
+	n := cases.MustLoad("case57")
+	base := solveBase(t, n)
+	ref, err := Sweep(n, base, Options{ReferenceClone: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Sweep(n, base, Options{Pool: NewPool()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Seeds != got.Seeds || ref.Stable != got.Stable || ref.Islanded != got.Islanded ||
+		ref.Collapsed != got.Collapsed || ref.DepthLimited != got.DepthLimited || ref.Cascaded != got.Cascaded {
+		t.Fatalf("aggregate classification differs: ref %+v vs got %+v", ref, got)
+	}
+	if ref.WorstSeed != got.WorstSeed || !close9(ref.WorstSeverity, got.WorstSeverity) {
+		t.Fatalf("worst seed: (%d, %v) vs (%d, %v)", ref.WorstSeed, ref.WorstSeverity, got.WorstSeed, got.WorstSeverity)
+	}
+	for k := range ref.Results {
+		r, g := ref.Results[k], got.Results[k]
+		if (r == nil) != (g == nil) {
+			t.Fatalf("seed %d: presence differs", k)
+		}
+		if r == nil {
+			continue
+		}
+		if err := diffCascade(r, g); err != nil {
+			t.Fatalf("seed %d: %v", k, err)
+		}
+	}
+}
+
+// TestCascadeScreenConservatism cascades every DC-screened seed with the
+// screen off and asserts none of them actually cascades: no trips, no
+// shed, outcome stable. The screen's certificate is "non-cascading", not
+// "violation-free" — the MW-only DC prediction can miss reactive
+// redistribution by ~18 points on these cases (measured), which is why
+// the margins below the 115% trip threshold are sized the way they are
+// and why the screen makes no claim about sub-trip overloads.
+func TestCascadeScreenConservatism(t *testing.T) {
+	total := 0
+	for _, name := range []string{"case30", "case57"} {
+		t.Run(name, func(t *testing.T) {
+			n := cases.MustLoad(name)
+			base := solveBase(t, n)
+			ptdfM, err := ptdf.Build(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			screened, err := Sweep(n, base, Options{DCScreen: true, PTDF: ptdfM})
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := Sweep(n, base, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// case30's base already runs a branch past the trip threshold,
+			// so every seed there legitimately cascades and the screen must
+			// certify nothing; teeth come from the cross-case total below.
+			total += screened.Screened
+			for k, r := range screened.Results {
+				if r == nil || r.Outcome != OutcomeScreened {
+					continue
+				}
+				f := full.Results[k]
+				if f.Outcome != OutcomeStable {
+					t.Errorf("seed %d: screened as secure but full cascade says %q", k, f.Outcome)
+				}
+				if f.Depth > 0 || f.LoadShedMW > 0 {
+					t.Errorf("seed %d: screened as secure but tripped %v / shed %v MW", k, f.TrippedBranches[1:], f.LoadShedMW)
+				}
+			}
+			t.Logf("%s: %d/%d seeds screened", name, screened.Screened, screened.Seeds)
+		})
+	}
+	if total == 0 {
+		t.Fatal("DC screen certified nothing on any case — the conservatism check has no teeth")
+	}
+}

@@ -1,0 +1,170 @@
+package scenario
+
+import (
+	"gridmind/internal/model"
+	"gridmind/internal/powerflow"
+)
+
+// EpisodeStep is one operating point in a time-series episode: a uniform
+// demand multiplier (load curve), per-unit dispatch overrides in MW
+// (renewable injection profiles), and branches out of service at the
+// step. The zero value replays the base operating point.
+type EpisodeStep struct {
+	LoadScale   float64         `json:"load_scale,omitempty"` // <= 0 means nominal
+	GenP        map[int]float64 `json:"gen_p,omitempty"`
+	BranchesOut []int           `json:"branches_out,omitempty"`
+}
+
+// StepResult is the solved security snapshot of one episode step.
+type StepResult struct {
+	Step          int     `json:"step"`
+	Converged     bool    `json:"converged"`
+	Algorithm     string  `json:"algorithm,omitempty"`
+	Iterations    int     `json:"iterations"`
+	MaxLoadingPct float64 `json:"max_loading_pct"`
+	MinVoltagePU  float64 `json:"min_voltage_pu"`
+	MaxVoltagePU  float64 `json:"max_voltage_pu"`
+	Overloads     int     `json:"overloads"`
+	VoltViols     int     `json:"voltage_violations"`
+	// MarginPct is the thermal security margin, 100 − MaxLoadingPct
+	// (negative when overloaded).
+	MarginPct float64 `json:"margin_pct"`
+	LossMW    float64 `json:"loss_mw"`
+}
+
+// EpisodeResult aggregates a full time-series episode.
+type EpisodeResult struct {
+	Steps     []StepResult `json:"steps"`
+	Converged int          `json:"converged"`
+	// WorstStep is the step index with the smallest thermal margin among
+	// converged steps (−1 when none converged).
+	WorstStep    int     `json:"worst_step"`
+	MinMarginPct float64 `json:"min_margin_pct"`
+	MinVoltagePU float64 `json:"min_voltage_pu"`
+}
+
+// Episode drives a sequence of operating points over one immutable base
+// network: each step re-scales demand and re-dispatches units in place on
+// the pooled view solver (no clone, no recompilation) and warm-starts
+// from the previous step's voltage profile — consecutive operating points
+// are close, so steps typically converge in a couple of Newton
+// iterations. Options.ReferenceClone solves a fresh clone per step
+// instead; the episode differential harness pins the two.
+func Episode(n *model.Network, base *powerflow.Result, steps []EpisodeStep, opts Options) (*EpisodeResult, error) {
+	if base == nil || !base.Converged {
+		return nil, ErrNoBase
+	}
+	opts.fill()
+	ctx := acquireCtx(&opts, n)
+	defer releaseCtx(&opts, ctx)
+
+	er := &EpisodeResult{WorstStep: -1, MinMarginPct: 100, MinVoltagePU: base.MinVm}
+	warm := &base.Voltages
+	for si, step := range steps {
+		pfOpts := powerflow.Options{EnforceQLimits: true, Reorder: opts.Reorder, Warm: warm}
+		var res *powerflow.Result
+		var err error
+		if opts.ReferenceClone || ctx.solver == nil {
+			m := n.Clone()
+			if ls := stepScale(step); ls != 1 {
+				for i := range m.Loads {
+					m.Loads[i].P *= ls
+					m.Loads[i].Q *= ls
+				}
+			}
+			for g, p := range step.GenP {
+				if g >= 0 && g < len(m.Gens) {
+					m.Gens[g].P = p
+				}
+			}
+			for _, k := range step.BranchesOut {
+				if k >= 0 && k < len(m.Branches) {
+					m.Branches[k].InService = false
+				}
+			}
+			res, err = powerflow.Solve(m, pfOpts)
+		} else {
+			ctx.view.Reset()
+			if ls := stepScale(step); ls != 1 {
+				ctx.view.ScaleLoads(ls)
+			}
+			for g, p := range step.GenP {
+				if g >= 0 && g < len(n.Gens) {
+					ctx.view.SetGenP(g, p)
+				}
+			}
+			for _, k := range step.BranchesOut {
+				if k >= 0 && k < len(n.Branches) && n.Branches[k].InService {
+					ctx.view.OutBranch(k)
+				}
+			}
+			res, err = ctx.solver.Solve(ctx.view, pfOpts)
+		}
+
+		sr := StepResult{Step: si}
+		if err != nil || !res.Converged {
+			// A failed step breaks the warm-start chain; the next step
+			// restarts from the base profile rather than a garbage state.
+			warm = &base.Voltages
+			er.Steps = append(er.Steps, sr)
+			continue
+		}
+		sr.Converged = true
+		sr.Algorithm = res.Algorithm.String()
+		sr.Iterations = res.Iterations
+		sr.MinVoltagePU = res.MinVm
+		sr.MaxVoltagePU = res.MaxVm
+		sr.LossMW = res.LossP
+		mask := maskForStep(n, step)
+		for bk, f := range res.Flows {
+			if mask != nil && mask[bk] {
+				continue
+			}
+			if f.LoadingPct > sr.MaxLoadingPct {
+				sr.MaxLoadingPct = f.LoadingPct
+			}
+			if f.LoadingPct > opts.OverloadPct {
+				sr.Overloads++
+			}
+		}
+		for i := range n.Buses {
+			if vm := res.Voltages.Vm[i]; vm < opts.VoltLow || vm > opts.VoltHigh {
+				sr.VoltViols++
+			}
+		}
+		sr.MarginPct = 100 - sr.MaxLoadingPct
+		er.Converged++
+		if sr.MarginPct < er.MinMarginPct || er.WorstStep < 0 {
+			er.MinMarginPct = sr.MarginPct
+			er.WorstStep = si
+		}
+		if sr.MinVoltagePU < er.MinVoltagePU {
+			er.MinVoltagePU = sr.MinVoltagePU
+		}
+		er.Steps = append(er.Steps, sr)
+		warm = &res.Voltages
+	}
+	return er, nil
+}
+
+func stepScale(s EpisodeStep) float64 {
+	if s.LoadScale <= 0 {
+		return 1
+	}
+	return s.LoadScale
+}
+
+// maskForStep marks the step's outaged branches so loading stats skip
+// their meaningless view-path flows; nil when the step outages nothing.
+func maskForStep(n *model.Network, s EpisodeStep) []bool {
+	if len(s.BranchesOut) == 0 {
+		return nil
+	}
+	mask := make([]bool, len(n.Branches))
+	for _, k := range s.BranchesOut {
+		if k >= 0 && k < len(mask) {
+			mask[k] = true
+		}
+	}
+	return mask
+}

@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gridmind/internal/cases"
+	"gridmind/internal/model"
+	"gridmind/internal/powerflow"
+)
+
+// Property/fuzz coverage for the invariants the cascade engine leans on:
+// arbitrary patch/restore sequences leave the admittance values bitwise
+// intact, Materialize of an arbitrarily-stacked view equals a
+// from-scratch mutated clone, and the fast cascade path performs ZERO
+// network clones (counter-pinned).
+
+// TestYbusPatchRestoreProperty drives seeded-random stacks of
+// PatchBranchOutage/Restore (LIFO, like cascades and ViewSolver.Solve
+// apply them) to arbitrary depth and asserts the value array returns
+// bitwise to its pristine state after every full unwind — complex
+// equality, no tolerance. A single leaked rounding or a wrong slot
+// restoration compounds across a cascade's stacked patches, so bitwise
+// is the only acceptable contract.
+func TestYbusPatchRestoreProperty(t *testing.T) {
+	for _, name := range []string{"case30", "case57"} {
+		t.Run(name, func(t *testing.T) {
+			n := cases.MustLoad(name)
+			y := model.BuildYbus(n).Copy()
+			pristine := append([]complex128(nil), y.NZv...)
+			rng := rand.New(rand.NewSource(1234))
+
+			type frame struct{ p model.BranchPatch }
+			for trial := 0; trial < 300; trial++ {
+				var stack []frame
+				depth := 1 + rng.Intn(6)
+				for len(stack) < depth {
+					k := rng.Intn(len(n.Branches))
+					if p, ok := y.PatchBranchOutage(n, k); ok {
+						stack = append(stack, frame{p})
+					}
+					// Occasionally pop mid-build: interleaved stack shapes,
+					// not just straight pushes.
+					if len(stack) > 0 && rng.Intn(4) == 0 {
+						y.Restore(stack[len(stack)-1].p)
+						stack = stack[:len(stack)-1]
+					}
+				}
+				for i := len(stack) - 1; i >= 0; i-- {
+					y.Restore(stack[i].p)
+				}
+				for i := range pristine {
+					if y.NZv[i] != pristine[i] {
+						t.Fatalf("trial %d: NZv[%d] = %v, pristine %v — patch/restore leaked",
+							trial, i, y.NZv[i], pristine[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMaterializeEqualsCloneProperty builds seeded-random views — stacked
+// branch outages, generator outages, dispatch overrides, load scaling,
+// in random interleavings with Reset reuse — and asserts Materialize
+// equals a from-scratch clone with the identical mutations applied,
+// deeply and exactly. This is the contract that lets the cascade
+// fallback paths (fast-decoupled retry, collapse shed estimate) operate
+// on materialized views interchangeably with clones.
+func TestMaterializeEqualsCloneProperty(t *testing.T) {
+	for _, name := range []string{"case30", "case57"} {
+		t.Run(name, func(t *testing.T) {
+			n := cases.MustLoad(name)
+			rng := rand.New(rand.NewSource(99))
+			view := model.NewOutageView(n) // reused across trials: Reset must fully clear
+			for trial := 0; trial < 200; trial++ {
+				view.Reset()
+				ref := n.Clone()
+				for i := 1 + rng.Intn(4); i > 0; i-- {
+					k := rng.Intn(len(n.Branches))
+					view.OutBranch(k)
+					ref.Branches[k].InService = false
+				}
+				if rng.Intn(2) == 0 {
+					g := rng.Intn(len(n.Gens))
+					view.OutGen(g)
+					ref.Gens[g].InService = false
+				}
+				if rng.Intn(2) == 0 {
+					g := rng.Intn(len(n.Gens))
+					p := rng.Float64() * 80
+					view.SetGenP(g, p)
+					ref.Gens[g].P = p
+				}
+				if rng.Intn(2) == 0 {
+					ls := 0.8 + 0.4*rng.Float64()
+					view.ScaleLoads(ls)
+					for i := range ref.Loads {
+						ref.Loads[i].P *= ls
+						ref.Loads[i].Q *= ls
+					}
+				}
+				got := view.Materialize()
+				if !reflect.DeepEqual(got.Buses, ref.Buses) ||
+					!reflect.DeepEqual(got.Loads, ref.Loads) ||
+					!reflect.DeepEqual(got.Gens, ref.Gens) ||
+					!reflect.DeepEqual(got.Branches, ref.Branches) ||
+					got.BaseMVA != ref.BaseMVA || got.Name != ref.Name {
+					t.Fatalf("trial %d: materialized view differs from mutated clone", trial)
+				}
+			}
+		})
+	}
+}
+
+// TestCascadeZeroClone pins the fast path's allocation discipline with
+// the process-wide counters: a full cascade sweep performs ZERO network
+// clones, and materializes only for the stages that genuinely escalated
+// off the Newton view path (fast-decoupled fallbacks and collapse
+// estimates) — both counts derived from the results themselves, so the
+// budget can't drift silently.
+func TestCascadeZeroClone(t *testing.T) {
+	n := cases.MustLoad("case57")
+	base := solveBase(t, n)
+
+	c0, m0 := model.CloneCount(), model.MaterializeCount()
+	sw, err := Sweep(n, base, Options{Pool: NewPool()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clones := model.CloneCount() - c0
+	mats := model.MaterializeCount() - m0
+
+	if clones != 0 {
+		t.Fatalf("fast-path cascade sweep cloned %d networks; the zero-clone contract is broken", clones)
+	}
+	var expected int64
+	for _, r := range sw.Results {
+		if r == nil {
+			continue
+		}
+		for _, sg := range r.Stages {
+			// A non-Newton algorithm or a collapse record means the stage
+			// materialized the view exactly once for the fallback chain.
+			if sg.Islanded {
+				continue
+			}
+			if !sg.Converged || sg.Algorithm != powerflow.NewtonRaphson.String() {
+				expected++
+			}
+		}
+	}
+	if mats != expected {
+		t.Fatalf("sweep materialized %d views, results account for %d — a hidden materialize crept in", mats, expected)
+	}
+	t.Logf("sweep: 0 clones, %d accounted materializations over %d seeds", mats, sw.Seeds)
+}

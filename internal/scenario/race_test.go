@@ -1,0 +1,95 @@
+package scenario_test
+
+import (
+	"sync"
+	"testing"
+
+	"gridmind/internal/engine"
+	"gridmind/internal/scenario"
+)
+
+// TestScenarioSharedEngineRace hammers one shared Engine from concurrent
+// cascade sweeps (DC screen on, so the lazy LODF memo is hit from many
+// goroutines), Monte Carlo runs, and episodes — all workloads drawing
+// contexts from the same scenario pool and structural artifacts from the
+// same cache. Run under -race this is the concurrency pin; the Stats
+// assertions additionally prove one-case-one-compilation: N goroutines
+// share ONE Ybus, ONE topology, ONE PTDF build.
+func TestScenarioSharedEngineRace(t *testing.T) {
+	eng := engine.New()
+	n, err := eng.Pristine("case57")
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := eng.Artifacts(n)
+	ptdfM, err := art.PTDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := eng.BasePF("race", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkOpts := func() scenario.Options {
+		return scenario.Options{
+			BaseYbus: art.Ybus(),
+			Topology: art.Topology(),
+			PTDF:     ptdfM,
+			Reorder:  art.Ordering(),
+			Pool:     eng.ScenarioPool("race"),
+			Workers:  2,
+		}
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 3 {
+			case 0:
+				opts := mkOpts()
+				opts.DCScreen = true
+				if _, err := scenario.Sweep(n, base, opts); err != nil {
+					errs <- err
+				}
+			case 1:
+				mo := scenario.MCOptions{
+					Samples:          24,
+					Seed:             int64(1000 + i),
+					BranchOutageProb: 0.02,
+					LoadSigma:        0.04,
+					Cascade:          mkOpts(),
+				}
+				if _, err := scenario.RunMC(n, base, mo); err != nil {
+					errs <- err
+				}
+			case 2:
+				steps := make([]scenario.EpisodeStep, 12)
+				for s := range steps {
+					steps[s] = scenario.EpisodeStep{LoadScale: 0.9 + 0.02*float64(s)}
+				}
+				if _, err := scenario.Episode(n, base, steps, mkOpts()); err != nil {
+					errs <- err
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := eng.Stats()
+	if st.YbusBuilds != 1 || st.TopoBuilds != 1 || st.PTDFBuilds != 1 {
+		t.Fatalf("shared engine recompiled structure under concurrency: ybus=%d topo=%d ptdf=%d, want 1 each",
+			st.YbusBuilds, st.TopoBuilds, st.PTDFBuilds)
+	}
+	if st.ScenarioPoolNew == 0 {
+		t.Fatal("scenario pool was never used")
+	}
+	t.Logf("stats: %+v", st)
+}

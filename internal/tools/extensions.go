@@ -6,7 +6,9 @@ import (
 
 	"gridmind/internal/contingency"
 	"gridmind/internal/engine"
+	"gridmind/internal/model"
 	"gridmind/internal/opf"
+	"gridmind/internal/scenario"
 	"gridmind/internal/schema"
 	"gridmind/internal/scopf"
 	"gridmind/internal/sensitivity"
@@ -25,6 +27,8 @@ const (
 	ToolGenOutage       = "analyze_generator_outage"
 	ToolAssessQuality   = "assess_solution_quality"
 	ToolRunN2           = "run_n2_contingency_screening"
+	ToolCascade         = "run_cascade_study"
+	ToolRunMC           = "run_reliability_mc"
 )
 
 // ExtendedACOPFToolNames returns the ACOPF agent's toolbox including the
@@ -34,9 +38,10 @@ func ExtendedACOPFToolNames() []string {
 }
 
 // ExtendedCAToolNames returns the CA agent's toolbox including the
-// generator-outage and N-2 screening extensions.
+// generator-outage, N-2 screening, cascade and Monte Carlo reliability
+// extensions.
 func ExtendedCAToolNames() []string {
-	return append(CAToolNames(), ToolGenOutage, ToolRunN2)
+	return append(CAToolNames(), ToolGenOutage, ToolRunN2, ToolCascade, ToolRunMC)
 }
 
 // RegisterExtensions adds the extension tools to a registry bound to the
@@ -54,7 +59,264 @@ func RegisterExtensions(r *Registry, ctx *session.Context, eng *engine.Engine) e
 	if err := r.Register(runN2Tool(ctx, eng)); err != nil {
 		return err
 	}
+	if err := r.Register(cascadeTool(ctx, eng)); err != nil {
+		return err
+	}
+	if err := r.Register(reliabilityMCTool(ctx, eng)); err != nil {
+		return err
+	}
 	return r.Register(assessQualityTool(ctx, eng))
+}
+
+// scenarioOpts assembles scenario Options from the engine's shared
+// structural artifacts, mirroring sharedOpts for the contingency tools.
+// With a nil engine every call builds what it needs (pre-engine behavior).
+func scenarioOpts(ctx *session.Context, eng *engine.Engine, n *model.Network, withPTDF bool) scenario.Options {
+	var opts scenario.Options
+	if eng == nil {
+		return opts
+	}
+	a := eng.Artifacts(n)
+	opts.BaseYbus = a.Ybus()
+	opts.Topology = a.Topology()
+	opts.Reorder = a.Ordering()
+	opts.Pool = eng.ScenarioPool(ctx.DiffHash())
+	if withPTDF {
+		if m, err := a.PTDF(); err == nil {
+			opts.PTDF = m
+		}
+	}
+	return opts
+}
+
+// cascadeStageRows condenses a cascade's stage records for tool output.
+func cascadeStageRows(stages []scenario.Stage) []map[string]any {
+	rows := make([]map[string]any, 0, len(stages))
+	for _, sg := range stages {
+		rows = append(rows, map[string]any{
+			"stage":           sg.Index,
+			"trips":           sg.Trips,
+			"islanded":        sg.Islanded,
+			"converged":       sg.Converged,
+			"max_loading_pct": round2(sg.MaxLoadingPct),
+			"min_voltage_pu":  round4(sg.MinVoltagePU),
+			"overloads":       len(sg.Overloads),
+			"volt_violations": len(sg.VoltViols),
+			"next_trips":      sg.NextTrips,
+			"redispatch_mw":   round2(sg.RedispatchMW),
+		})
+	}
+	return rows
+}
+
+// cascadeTool exposes N-k cascade studies to the reliability (CA) agent:
+// a seed disturbance propagates through protection-style trip rounds on
+// the zero-clone stacked-view path, or — with no seed given — a full
+// sweep cascades every in-service branch outage with the lazy-LODF
+// screen discarding the provably non-cascading seeds.
+func cascadeTool(ctx *session.Context, eng *engine.Engine) *Tool {
+	return &Tool{
+		Name: ToolCascade,
+		Description: "Run an N-k cascading-failure study: trip the seed branches (and optionally generators), " +
+			"re-solve, trip every branch loaded past the protection threshold, and repeat to the depth limit. " +
+			"Omit the seed to sweep ALL single-branch seeds and rank the worst cascade. Reports the trip " +
+			"sequence, stage-by-stage loadings, islanding-driven load shed and a severity score.",
+		Input: schema.Obj("", map[string]*schema.Schema{
+			"branches":   schema.Arr("seed branch indices to trip (omit for a full sweep)", schema.Int("")),
+			"gen_buses":  schema.Arr("bus numbers of generating units lost in the initiating event", schema.Int("")),
+			"load_scale": schema.Num("uniform demand multiplier for the study (default 1.0)").WithRange(0.1, 2),
+			"max_depth":  schema.Int("propagation rounds beyond the seed (default 3)").WithRange(1, 10),
+			"trip_pct":   schema.Num("protection trip threshold in % of rating (default 115)").WithRange(100, 300),
+			"redispatch": schema.Bool("apply governor redispatch between rounds (default false)"),
+			"no_screen":  schema.Bool("sweep mode: disable the DC pre-screen and study every seed"),
+		}),
+		Output: schema.Obj("cascade study", map[string]*schema.Schema{
+			"mode": schema.Str("'event' or 'sweep'"),
+		}, "mode").WithExtra(),
+		Fn: func(args map[string]any) (any, error) {
+			base, err := ensureBase(ctx, eng)
+			if err != nil {
+				return nil, err
+			}
+			n, err := ctx.Network()
+			if err != nil {
+				return nil, err
+			}
+			opts := scenarioOpts(ctx, eng, n, true)
+			if v, ok := args["max_depth"].(float64); ok {
+				opts.MaxDepth = int(v)
+			}
+			if v, ok := args["trip_pct"].(float64); ok {
+				opts.TripPct = v
+			}
+			if v, ok := args["redispatch"].(bool); ok {
+				opts.Redispatch = v
+			}
+			var ev scenario.Event
+			if raw, ok := args["branches"].([]any); ok {
+				for _, b := range raw {
+					if f, ok := b.(float64); ok {
+						ev.Branches = append(ev.Branches, int(f))
+					}
+				}
+			}
+			if raw, ok := args["gen_buses"].([]any); ok {
+				for _, b := range raw {
+					f, ok := b.(float64)
+					if !ok {
+						continue
+					}
+					bi := n.BusByID(int(f))
+					if bi < 0 {
+						return nil, fmt.Errorf("bus %d does not exist in %s", int(f), n.Name)
+					}
+					gens := n.GensAtBus(bi)
+					if len(gens) == 0 {
+						return nil, fmt.Errorf("no in-service generator at bus %d", int(f))
+					}
+					ev.Gens = append(ev.Gens, gens[0])
+				}
+			}
+			if v, ok := args["load_scale"].(float64); ok {
+				ev.LoadScale = v
+			}
+
+			if len(ev.Branches) == 0 && len(ev.Gens) == 0 {
+				// Sweep mode: every in-service branch seeds one cascade.
+				opts.DCScreen = true
+				if v, ok := args["no_screen"].(bool); ok && v {
+					opts.DCScreen = false
+				}
+				sw, err := scenario.Sweep(n, base, opts)
+				if err != nil {
+					return nil, err
+				}
+				out := map[string]any{
+					"mode":           "sweep",
+					"case_name":      sw.Case,
+					"seeds":          sw.Seeds,
+					"screened":       sw.Screened,
+					"stable":         sw.Stable,
+					"cascaded":       sw.Cascaded,
+					"islanded":       sw.Islanded,
+					"collapsed":      sw.Collapsed,
+					"depth_limited":  sw.DepthLimited,
+					"worst_seed":     sw.WorstSeed,
+					"worst_severity": round2(sw.WorstSeverity),
+					"max_shed_mw":    round2(sw.MaxShedMW),
+				}
+				if r := sw.Results[sw.WorstSeed]; r != nil {
+					out["worst_outcome"] = r.Outcome
+					out["worst_trip_sequence"] = r.TrippedBranches
+					out["worst_load_shed_mw"] = round2(r.LoadShedMW)
+					out["worst_stages"] = cascadeStageRows(r.Stages)
+				}
+				ctx.AddProvenance(ToolCascade, fmt.Sprintf(
+					"cascade sweep: %d seeds (%d screened), %d stable, %d cascaded, %d islanded, %d collapsed; worst seed %d severity %.1f",
+					sw.Seeds, sw.Screened, sw.Stable, sw.Cascaded, sw.Islanded, sw.Collapsed, sw.WorstSeed, sw.WorstSeverity))
+				return out, nil
+			}
+
+			r, err := scenario.Cascade(n, base, ev, opts)
+			if err != nil {
+				return nil, err
+			}
+			ctx.AddProvenance(ToolCascade, fmt.Sprintf(
+				"cascade event %v: outcome %s, depth %d, %d branches tripped, %.1f MW shed",
+				ev.Branches, r.Outcome, r.Depth, len(r.TrippedBranches), r.LoadShedMW))
+			return map[string]any{
+				"mode":           "event",
+				"case_name":      n.Name,
+				"outcome":        r.Outcome,
+				"depth":          r.Depth,
+				"trip_sequence":  r.TrippedBranches,
+				"gens_out":       r.GensOut,
+				"load_shed_mw":   round2(r.LoadShedMW),
+				"lost_gen_mw":    round2(r.LostGenMW),
+				"gen_deficit_mw": round2(r.GenDeficitMW),
+				"severity":       round2(r.Severity),
+				"stages":         cascadeStageRows(r.Stages),
+			}, nil
+		},
+	}
+}
+
+// reliabilityMCTool exposes seeded Monte Carlo reliability estimation:
+// independent outage/demand draws cascade through the scenario engine,
+// and loss-of-load / overload / cascade probabilities come back with
+// Wilson 95% confidence intervals. Fixed seeds replay bit-identically.
+func reliabilityMCTool(ctx *session.Context, eng *engine.Engine) *Tool {
+	return &Tool{
+		Name: ToolRunMC,
+		Description: "Estimate reliability indices by Monte Carlo: sample random branch/generator outages and " +
+			"demand deviations, cascade each draw, and report loss-of-load probability (LOLP), overload and " +
+			"cascade probabilities with 95% Wilson confidence intervals, plus expected load shed per draw. " +
+			"Deterministic for a fixed seed.",
+		Input: schema.Obj("", map[string]*schema.Schema{
+			"samples":            schema.Int("number of Monte Carlo draws (default 100)").WithRange(10, 10000),
+			"seed":               schema.Int("RNG seed (default 0); a fixed seed replays exactly"),
+			"branch_outage_prob": schema.Num("per-branch outage probability per draw (default 0.01)").WithRange(0, 0.5),
+			"gen_outage_prob":    schema.Num("per-generator outage probability per draw (default 0)").WithRange(0, 0.5),
+			"load_sigma":         schema.Num("std dev of the demand multiplier (default 0.03)").WithRange(0, 0.3),
+		}),
+		Output: schema.Obj("Monte Carlo reliability", map[string]*schema.Schema{
+			"samples": schema.Int("draws evaluated"),
+			"lolp":    schema.Num("loss-of-load probability point estimate"),
+		}, "samples", "lolp").WithExtra(),
+		Fn: func(args map[string]any) (any, error) {
+			base, err := ensureBase(ctx, eng)
+			if err != nil {
+				return nil, err
+			}
+			n, err := ctx.Network()
+			if err != nil {
+				return nil, err
+			}
+			mo := scenario.MCOptions{
+				BranchOutageProb: 0.01,
+				LoadSigma:        0.03,
+				Cascade:          scenarioOpts(ctx, eng, n, false),
+			}
+			if v, ok := args["samples"].(float64); ok {
+				mo.Samples = int(v)
+			}
+			if v, ok := args["seed"].(float64); ok {
+				mo.Seed = int64(v)
+			}
+			if v, ok := args["branch_outage_prob"].(float64); ok {
+				mo.BranchOutageProb = v
+			}
+			if v, ok := args["gen_outage_prob"].(float64); ok {
+				mo.GenOutageProb = v
+			}
+			if v, ok := args["load_sigma"].(float64); ok {
+				mo.LoadSigma = v
+			}
+			res, err := scenario.RunMC(n, base, mo)
+			if err != nil {
+				return nil, err
+			}
+			interval := func(iv scenario.Interval) map[string]any {
+				return map[string]any{"p": round4(iv.P), "lo": round4(iv.Lo), "hi": round4(iv.Hi)}
+			}
+			ctx.AddProvenance(ToolRunMC, fmt.Sprintf(
+				"Monte Carlo reliability: %d draws seed %d, LOLP %.4f [%.4f, %.4f], mean shed %.2f MW",
+				res.Samples, res.Seed, res.LossOfLoad.P, res.LossOfLoad.Lo, res.LossOfLoad.Hi, res.MeanShedMW))
+			return map[string]any{
+				"case_name":          n.Name,
+				"samples":            res.Samples,
+				"seed":               res.Seed,
+				"lolp":               round4(res.LossOfLoad.P),
+				"loss_of_load":       interval(res.LossOfLoad),
+				"overload":           interval(res.Overload),
+				"cascade":            interval(res.CascadeProb),
+				"mean_shed_mw":       round2(res.MeanShedMW),
+				"branch_outage_prob": mo.BranchOutageProb,
+				"gen_outage_prob":    mo.GenOutageProb,
+				"load_sigma":         mo.LoadSigma,
+			}, nil
+		},
+	}
 }
 
 // runN2Tool exposes the N-2 screening pipeline to the reliability (CA)

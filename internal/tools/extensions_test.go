@@ -20,10 +20,10 @@ func extendedRegistry(t *testing.T) (*Registry, *session.Context) {
 
 func TestExtensionsRegistered(t *testing.T) {
 	r, _ := extendedRegistry(t)
-	if len(r.Names()) != 12 {
-		t.Fatalf("registry has %d tools, want 7 paper tools + 5 extensions", len(r.Names()))
+	if len(r.Names()) != 14 {
+		t.Fatalf("registry has %d tools, want 7 paper tools + 7 extensions", len(r.Names()))
 	}
-	for _, name := range []string{ToolLoadSensitivity, ToolCompareStrategy, ToolGenOutage, ToolAssessQuality, ToolRunN2} {
+	for _, name := range []string{ToolLoadSensitivity, ToolCompareStrategy, ToolGenOutage, ToolAssessQuality, ToolRunN2, ToolCascade, ToolRunMC} {
 		if _, ok := r.Get(name); !ok {
 			t.Errorf("extension %s missing", name)
 		}
@@ -32,7 +32,7 @@ func TestExtensionsRegistered(t *testing.T) {
 	if len(ExtendedACOPFToolNames()) != 6 {
 		t.Fatalf("extended ACOPF toolbox has %d entries", len(ExtendedACOPFToolNames()))
 	}
-	if len(ExtendedCAToolNames()) != 6 {
+	if len(ExtendedCAToolNames()) != 8 {
 		t.Fatalf("extended CA toolbox has %d entries", len(ExtendedCAToolNames()))
 	}
 }
@@ -145,5 +145,87 @@ func TestCompareStrategyTool(t *testing.T) {
 	}
 	if m["violations_before"].(float64) > 0 && m["violations_after"].(float64) >= m["violations_before"].(float64) {
 		t.Fatalf("no security progress: %v -> %v", m["violations_before"], m["violations_after"])
+	}
+}
+
+func TestCascadeToolEvent(t *testing.T) {
+	r, sess := extendedRegistry(t)
+	if _, err := sess.LoadCase("case30"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Invoke(ToolCascade, map[string]any{
+		"branches": []any{1.0}, "trip_pct": 105.0, "load_scale": 1.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := out.(map[string]any)
+	if m["mode"].(string) != "event" {
+		t.Fatalf("mode = %v", m["mode"])
+	}
+	seq := m["trip_sequence"].([]any)
+	if len(seq) == 0 || int(seq[0].(float64)) != 1 {
+		t.Fatalf("trip sequence %v does not start with the seed", seq)
+	}
+	if len(m["stages"].([]any)) == 0 {
+		t.Fatal("no stage records")
+	}
+}
+
+func TestCascadeToolSweep(t *testing.T) {
+	r, sess := extendedRegistry(t)
+	if _, err := sess.LoadCase("case57"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Invoke(ToolCascade, map[string]any{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := out.(map[string]any)
+	if m["mode"].(string) != "sweep" {
+		t.Fatalf("mode = %v", m["mode"])
+	}
+	seeds := m["seeds"].(float64)
+	if seeds <= 0 {
+		t.Fatalf("no seeds studied: %v", m)
+	}
+	if m["screened"].(float64) <= 0 {
+		t.Fatalf("DC screen certified nothing on case57: %v", m["screened"])
+	}
+	// Outcomes partition the seeds; "cascaded" overlaps them (any seed
+	// that propagated beyond stage 0, whatever its terminal outcome).
+	sum := m["screened"].(float64) + m["stable"].(float64) + m["islanded"].(float64) +
+		m["collapsed"].(float64) + m["depth_limited"].(float64)
+	if sum != seeds {
+		t.Fatalf("outcomes do not partition the seeds: %v of %v", sum, seeds)
+	}
+}
+
+func TestReliabilityMCTool(t *testing.T) {
+	r, sess := extendedRegistry(t)
+	if _, err := sess.LoadCase("case30"); err != nil {
+		t.Fatal(err)
+	}
+	args := map[string]any{"samples": 30.0, "seed": 5.0, "branch_outage_prob": 0.02}
+	out, err := r.Invoke(ToolRunMC, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := out.(map[string]any)
+	if m["samples"].(float64) != 30 {
+		t.Fatalf("samples = %v", m["samples"])
+	}
+	lol := m["loss_of_load"].(map[string]any)
+	if lol["lo"].(float64) > lol["p"].(float64) || lol["p"].(float64) > lol["hi"].(float64) {
+		t.Fatalf("malformed interval %v", lol)
+	}
+	// Fixed seed: a second invocation reports identical indices.
+	again, err := r.Invoke(ToolRunMC, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := again.(map[string]any)
+	if m["lolp"].(float64) != m2["lolp"].(float64) || m["mean_shed_mw"].(float64) != m2["mean_shed_mw"].(float64) {
+		t.Fatalf("fixed-seed tool invocations disagree: %v vs %v", m, m2)
 	}
 }

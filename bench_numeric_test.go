@@ -10,6 +10,7 @@ import (
 	"gridmind/internal/cases"
 	"gridmind/internal/contingency"
 	"gridmind/internal/model"
+	"gridmind/internal/obs"
 	"gridmind/internal/opf"
 	"gridmind/internal/powerflow"
 	"gridmind/internal/ptdf"
@@ -25,7 +26,7 @@ import (
 // cascade sweep and the Monte Carlo reliability loop, each over the
 // paper-scale cases. Regenerate the JSON with:
 //
-//	go test -run '^$' -bench 'BuildYbus|NewtonSolve|N1Sweep|GenSweep|N2Screen|ACOPF|SCOPF|SessionNetwork|ConcurrentAsk|Cascade|MCReliability' -benchmem .
+//	go test -run '^$' -bench 'BuildYbus|NewtonSolve|N1Sweep|GenSweep|N2Screen|ACOPF|SCOPF|SessionNetwork|ConcurrentAsk|Cascade|MCReliability|RegistryHotPath' -benchmem .
 
 func benchBuildYbus(b *testing.B, caseName string) {
 	n := cases.MustLoad(caseName)
@@ -326,5 +327,22 @@ func BenchmarkSCOPFCase57(b *testing.B) {
 		if res.Rounds < 1 {
 			b.Fatal("no rounds")
 		}
+	}
+}
+
+// BenchmarkRegistryHotPath measures the obs instrument hot path every
+// engine lookup, gateway attempt and tool call rides: a pre-registered
+// counter Inc plus a latency-histogram Observe. The contract is zero
+// allocations per op — registration allocates once up front, publishing
+// never does — and the CI benchguard pins the 0-alloc baseline exactly.
+func BenchmarkRegistryHotPath(b *testing.B) {
+	met := obs.NewRegistry()
+	c := met.Counter("bench_hot_total", "hot-path benchmark counter", "path", "hot")
+	h := met.Histogram("bench_hot_seconds", "hot-path benchmark histogram", nil, "path", "hot")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(0.0042)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"gridmind/internal/cases"
 	"gridmind/internal/contingency"
 	"gridmind/internal/model"
+	"gridmind/internal/obs"
 	"gridmind/internal/opf"
 	"gridmind/internal/powerflow"
 	"gridmind/internal/ptdf"
@@ -89,7 +90,9 @@ type guardRow struct {
 //     machine-independent arm);
 //   - the N-k cascade sweep on case57 (pooled zero-clone contexts +
 //     lazy-LODF DC pre-screen) and the 64-draw seeded Monte Carlo
-//     reliability loop (the PR 7 scenario engine).
+//     reliability loop (the PR 7 scenario engine);
+//   - the obs-registry instrument hot path (counter Inc + histogram
+//     Observe), pinned to exactly 0 allocs/op.
 func runBenchGuard(baselinePath, outPath, caseName string, tol float64) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -305,6 +308,26 @@ func runBenchGuard(baselinePath, outPath, caseName string, tol float64) error {
 			}(),
 		},
 		{
+			// The obs-registry instrument hot path every engine lookup,
+			// gateway attempt and tool call rides: pre-registered counter Inc
+			// plus histogram Observe. The baseline is exactly 0 allocs/op;
+			// the alloc arm's zero-baseline case fails on ANY allocation
+			// creeping into the publish path.
+			name: "BenchmarkRegistryHotPath",
+			run: func() func(b *testing.B) {
+				met := obs.NewRegistry()
+				c := met.Counter("bench_hot_total", "hot-path benchmark counter", "path", "hot")
+				h := met.Histogram("bench_hot_seconds", "hot-path benchmark histogram", nil, "path", "hot")
+				return func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						c.Inc()
+						h.Observe(0.0042)
+					}
+				}
+			}(),
+		},
+		{
 			name: "BenchmarkSCOPFCase57",
 			run: func() func(b *testing.B) {
 				n := cases.MustLoad("case57")
@@ -362,7 +385,10 @@ func runBenchGuard(baselinePath, outPath, caseName string, tol float64) error {
 			row.Failed = true
 			failures = append(failures, fmt.Sprintf("%s ns/op regressed: %.0f > %.0f (+%.0f%% allowed)", spec.name, bestNs, refNs, 100*tol))
 		}
-		if refAllocs > 0 && bestAllocs > refAllocs*(1+tol) {
+		// A zero-alloc baseline is pinned exactly: tolerance is a fraction,
+		// and any fraction of zero is zero — one allocation on a 0-alloc
+		// hot path is the whole regression.
+		if (refAllocs == 0 && bestAllocs > 0) || (refAllocs > 0 && bestAllocs > refAllocs*(1+tol)) {
 			row.Failed = true
 			failures = append(failures, fmt.Sprintf("%s allocs/op regressed: %.0f > %.0f (+%.0f%% allowed)", spec.name, bestAllocs, refAllocs, 100*tol))
 		}

@@ -37,7 +37,7 @@ func main() {
 	runs := flag.Int("runs", 5, "runs per (model, case) cell")
 	caseName := flag.String("case", "case118", "fixed case for fig3-success/fig3-dist/table1")
 	models := flag.String("models", "", "comma-separated model subset (default: all six)")
-	guard := flag.String("benchguard", "", "path to BENCH_numeric.json: run the guarded benchmarks (N-1 branch/gen sweeps, N-2 screening, ACOPF case57/118, SCOPF case57, cascade sweep, Monte Carlo reliability) against their recorded baselines and fail on regression")
+	guard := flag.String("benchguard", "", "path to BENCH_numeric.json: run the guarded benchmarks (N-1 branch/gen sweeps, N-2 screening, ACOPF case57/118, SCOPF case57, cascade sweep, Monte Carlo reliability, obs-registry hot path) against their recorded baselines and fail on regression")
 	guardCase := flag.String("benchguard-case", "case57", "case for the -benchguard N-1 sweep benchmark (the ACOPF/SCOPF cases are fixed by their baselines)")
 	guardTol := flag.Float64("benchguard-tolerance", 0.30, "allowed fractional ns/op regression before -benchguard fails")
 	guardOut := flag.String("benchguard-out", "", "path to write the fresh -benchguard measurements as JSON (CI uploads it as an artifact)")

@@ -13,15 +13,19 @@ import (
 
 	"gridmind"
 	"gridmind/internal/llm"
+	"gridmind/internal/obs"
 )
 
 // server bundles the HTTP surface: the session manager, the shared
-// artifact engine (for the /metrics gauges), a default session serving
-// session-less /ask calls (back-compat with the single-tenant API), and
-// the simulated chat-completions backend.
+// artifact engine, the process metrics registry behind /metrics, a
+// default session serving session-less /ask calls (back-compat with the
+// single-tenant API), and the simulated chat-completions backend.
 type server struct {
 	mgr *sessionManager
 	eng *gridmind.Engine
+	// met is the process-wide obs registry (the engine's); every layer —
+	// engine, gateway, tools, agents, session manager — publishes here.
+	met *obs.Registry
 	def *gridmind.GridMind
 	// defMu serializes asks into the default session, matching the
 	// per-session discipline managed sessions get from the manager.
@@ -214,7 +218,9 @@ func (s *server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleSessionByID deletes one session (DELETE /sessions/{id}).
+// handleSessionByID deletes (DELETE) or touches (POST) one session. A
+// POST on a spilled id restores it from disk without routing a query
+// through it — the explicit form of the transparent restore /ask does.
 func (s *server) handleSessionByID(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/sessions/")
 	if id == "" || strings.Contains(id, "/") {
@@ -228,8 +234,19 @@ func (s *server) handleSessionByID(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
+	case http.MethodPost:
+		ms, err := s.mgr.get(id)
+		if err != nil {
+			writeErr(w, errStatus(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"session_id": ms.ID,
+			"model":      ms.Model,
+			"created_at": ms.Created,
+		})
 	default:
-		writeErr(w, http.StatusMethodNotAllowed, "DELETE only")
+		writeErr(w, http.StatusMethodNotAllowed, "POST or DELETE only")
 	}
 }
 
@@ -242,10 +259,28 @@ func (s *server) handleCases(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rows)
 }
 
-// handleMetrics writes the instrumentation CSV merged across the default
-// session and every live managed session, followed by comment-prefixed
-// gauge lines: live sessions and the engine's artifact hit/miss counters.
+// handleMetrics serves the process metrics registry in Prometheus text
+// exposition format: engine artifact hit/miss counters, per-deployment
+// gateway counters and breaker state, per-tool invocation counts and
+// latency histograms, per-agent interaction metrics, and session
+// lifecycle (live gauge, spill/restore counts). ?format=csv keeps the
+// legacy per-interaction CSV dump.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "csv" {
+		s.handleMetricsCSV(w)
+		return
+	}
+	w.Header().Set("Content-Type", obs.TextContentType)
+	if err := s.met.WritePrometheus(w); err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// handleMetricsCSV is the pre-Prometheus /metrics body, kept verbatim
+// behind ?format=csv: the instrumentation CSV merged across the default
+// session and every live managed session, followed by comment-prefixed
+// gauge lines for the engine and gateway.
+func (s *server) handleMetricsCSV(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "text/csv")
 	fmt.Fprintln(w, "model,agent,latency_s,prompt_tokens,completion_tokens,tool_calls,validation_errors,factual_slips,recoveries,success")
 	writeRows := func(rows []gridmind.Interaction) {

@@ -9,15 +9,18 @@
 //
 //	POST   /sessions              {"model": "..."}                → create a session
 //	GET    /sessions                                              → live-session listing
-//	DELETE /sessions/{id}                                         → drop a session
+//	DELETE /sessions/{id}                                         → drop a session (live or spilled)
+//	POST   /sessions/{id}                                         → touch a session, restoring it from spill if needed
 //	POST   /ask                   {"query": "...", "session_id"?} → coordinated reply
 //	GET    /cases                                                 → Table 2 inventory
-//	GET    /metrics                                               → CSV + engine gauges
+//	GET    /metrics                                               → Prometheus text exposition (?format=csv = legacy CSV)
 //	POST   /v1/chat/completions   chat-completions dialect        → simulated backend
 //
 // /ask without a session_id uses a shared default session (the original
-// single-tenant contract). Sessions idle past -session-ttl expire. The
-// server drains gracefully on SIGINT/SIGTERM.
+// single-tenant contract). Sessions idle past -session-ttl expire; with
+// -spill-dir they spill to disk instead and transparently restore on the
+// next ask, so mostly-idle users stop holding RAM. The server drains
+// gracefully on SIGINT/SIGTERM.
 package main
 
 import (
@@ -42,6 +45,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	modelName := flag.String("model", gridmind.ModelGPTO3, "simulated model profile for the default session")
 	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "idle session expiry (0 disables)")
+	spillDir := flag.String("spill-dir", "", "directory for idle-expired session spill files; expired sessions persist there and restore on next touch (empty disables)")
 	maxSessions := flag.Int("max-sessions", 1024, "live session cap (0 = unlimited)")
 	maxQueue := flag.Int("max-queue", 8, "in-flight ask cap per session; overflow gets 429 + Retry-After (0 = unbounded)")
 	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
@@ -55,10 +59,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The engine comes first: its obs registry is the process-wide metrics
+	// surface the gateway, manager and every session publish on.
+	eng := gridmind.NewEngine()
+	met := eng.Metrics()
+
 	var gw *gridmind.Gateway
 	if *gatewaySpec != "" {
 		var err error
-		gw, err = buildGateway(*gatewaySpec, *gatewayStrategy, *gatewayHealth)
+		gw, err = buildGateway(*gatewaySpec, *gatewayStrategy, *gatewayHealth, met)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -66,20 +75,20 @@ func main() {
 		defer gw.Close()
 	}
 
-	eng := gridmind.NewEngine()
 	factory := func(model string) *gridmind.GridMind {
 		if gw != nil {
 			return gridmind.New(gridmind.Options{Model: model, Client: gw, Engine: eng})
 		}
 		return gridmind.New(gridmind.Options{Model: model, Engine: eng})
 	}
-	mgr := newSessionManager(factory, *sessionTTL, *maxSessions, *maxQueue)
+	mgr := newSessionManager(factory, *sessionTTL, *maxSessions, *maxQueue, *spillDir, met)
 	defer mgr.close()
 
 	profile, _ := llm.ProfileByName(*modelName)
 	srv := &server{
 		mgr:      mgr,
 		eng:      eng,
+		met:      met,
 		def:      factory(*modelName),
 		sim:      llm.Handler(llm.NewSim(profile)),
 		maxBody:  *maxBody,
@@ -121,7 +130,7 @@ func main() {
 // "name=model-or-URL[@weight]": an http(s) URL becomes a chat-completions
 // deployment, a model name becomes a simulated one. List order sets
 // priority (first = most preferred).
-func buildGateway(spec, strategy string, health time.Duration) (*gridmind.Gateway, error) {
+func buildGateway(spec, strategy string, health time.Duration, met *gridmind.MetricsRegistry) (*gridmind.Gateway, error) {
 	var deps []gridmind.GatewayDeployment
 	for i, item := range strings.Split(spec, ",") {
 		item = strings.TrimSpace(item)
@@ -160,5 +169,6 @@ func buildGateway(spec, strategy string, health time.Duration) (*gridmind.Gatewa
 		Name:     "gridmind-server",
 		Strategy: gridmind.GatewayStrategy(strategy),
 		Health:   gridmind.GatewayHealthConfig{Interval: health},
+		Metrics:  met,
 	})
 }

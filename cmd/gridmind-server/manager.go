@@ -1,16 +1,22 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
 	"sort"
 	"sync"
 	"time"
 
 	"gridmind"
+	"gridmind/internal/obs"
 )
 
 // Session-manager errors, mapped to HTTP statuses by the handlers.
@@ -46,6 +52,10 @@ type sessionManager struct {
 	// hot session accumulates goroutines without limit — each waiting ask
 	// is a parked goroutine plus an open connection.
 	maxQueue int
+	// spillDir, when non-empty, turns idle expiry into spill-to-disk: the
+	// janitor persists the session there instead of dropping it, and the
+	// next touch of the id transparently restores it.
+	spillDir string
 
 	mu       sync.Mutex
 	sessions map[string]*managedSession
@@ -53,19 +63,40 @@ type sessionManager struct {
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+
+	// Lifecycle instruments on the process registry.
+	expired     *obs.Counter
+	spills      *obs.Counter
+	spillErrs   *obs.Counter
+	restores    *obs.Counter
+	restoreErrs *obs.Counter
+	restoreLat  *obs.Histogram
 }
 
-// newSessionManager starts a manager and its idle-expiry janitor.
-func newSessionManager(factory func(string) *gridmind.GridMind, idleTTL time.Duration, maxSessions, maxQueue int) *sessionManager {
+// newSessionManager starts a manager and its idle-expiry janitor. met is
+// the registry lifecycle instruments land on; nil gets a private one.
+func newSessionManager(factory func(string) *gridmind.GridMind, idleTTL time.Duration, maxSessions, maxQueue int, spillDir string, met *obs.Registry) *sessionManager {
+	if met == nil {
+		met = obs.NewRegistry()
+	}
 	m := &sessionManager{
 		factory:     factory,
 		idleTTL:     idleTTL,
 		maxSessions: maxSessions,
 		maxQueue:    maxQueue,
+		spillDir:    spillDir,
 		sessions:    make(map[string]*managedSession),
 		now:         time.Now,
 		stop:        make(chan struct{}),
+		expired:     met.Counter("gridmind_sessions_expired_total", "Sessions dropped or spilled by the idle-expiry janitor."),
+		spills:      met.Counter("gridmind_sessions_spilled_total", "Idle sessions persisted to the spill directory."),
+		spillErrs:   met.Counter("gridmind_sessions_spill_errors_total", "Failed spill attempts (session kept live)."),
+		restores:    met.Counter("gridmind_sessions_restored_total", "Spilled sessions transparently restored on touch."),
+		restoreErrs: met.Counter("gridmind_sessions_restore_errors_total", "Spill files that failed to decode or restore."),
+		restoreLat:  met.Histogram("gridmind_sessions_restore_latency_seconds", "Latency of restoring a spilled session from disk.", obs.DefLatencyBuckets),
 	}
+	met.GaugeFunc("gridmind_sessions_live", "Live sessions in the manager table.",
+		func() float64 { return float64(m.len()) })
 	if idleTTL > 0 {
 		m.wg.Add(1)
 		go m.janitor()
@@ -94,7 +125,13 @@ func (m *sessionManager) janitor() {
 // expireIdle drops sessions idle past the TTL; it returns how many died.
 // A session with an in-flight ask is never idle, however long the solve
 // runs — expiring it mid-use would 404 the very next request of an
-// actively-used conversation.
+// actively-used conversation. With a spill directory configured the
+// session state is persisted before the table entry goes away, so the
+// next ask restores it instead of 404ing; a failed spill keeps the
+// session live rather than dropping conversation state on the floor.
+// Persisting under the manager lock is deliberate: the session is idle
+// (busy == 0) and holding the lock closes the window where an ask could
+// land between the delete and the write.
 func (m *sessionManager) expireIdle() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -102,11 +139,123 @@ func (m *sessionManager) expireIdle() int {
 	n := 0
 	for id, s := range m.sessions {
 		if s.busy == 0 && s.lastUsed.Before(cutoff) {
+			if m.spillDir != "" {
+				if err := m.spill(s); err != nil {
+					m.spillErrs.Inc()
+					continue
+				}
+				m.spills.Inc()
+			}
 			delete(m.sessions, id)
+			m.expired.Inc()
 			n++
 		}
 	}
 	return n
+}
+
+// spillEnvelope is the on-disk spill file: manager bookkeeping plus the
+// session's own Persist payload, one JSON document per session id.
+type spillEnvelope struct {
+	SessionID string          `json:"session_id"`
+	Model     string          `json:"model"`
+	Created   time.Time       `json:"created_at"`
+	Asks      int64           `json:"asks"`
+	Session   json.RawMessage `json:"session"`
+}
+
+// spillIDRe guards the spill path against ids with path separators or
+// other traversal material; generated ids are "sess-" + hex.
+var spillIDRe = regexp.MustCompile(`^[A-Za-z0-9_-]+$`)
+
+// spillPath maps a session id to its spill file; false when spilling is
+// disabled or the id is not a safe file-name component.
+func (m *sessionManager) spillPath(id string) (string, bool) {
+	if m.spillDir == "" || !spillIDRe.MatchString(id) {
+		return "", false
+	}
+	return filepath.Join(m.spillDir, id+".json"), true
+}
+
+// spill persists one idle session to disk. Caller holds m.mu.
+func (m *sessionManager) spill(s *managedSession) error {
+	path, ok := m.spillPath(s.ID)
+	if !ok {
+		return fmt.Errorf("session id %q is not spillable", s.ID)
+	}
+	var buf bytes.Buffer
+	if err := s.gm.PersistSession(&buf); err != nil {
+		return err
+	}
+	data, err := json.Marshal(spillEnvelope{
+		SessionID: s.ID, Model: s.Model, Created: s.Created,
+		Asks: s.asks, Session: buf.Bytes(),
+	})
+	if err != nil {
+		return err
+	}
+	// Write-then-rename so a crash mid-write never leaves a torn file
+	// where the restore path will look.
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// restore revives a spilled session: decode the envelope, rebuild a
+// GridMind via the factory, replay the persisted session into it, and
+// install it back in the table. Returns errSessionNotFound when there is
+// no (usable) spill file, which the handlers map to 404 — exactly what a
+// plain expiry looked like before spilling existed.
+func (m *sessionManager) restore(id string) (*managedSession, error) {
+	path, ok := m.spillPath(id)
+	if !ok {
+		return nil, errSessionNotFound
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		// A racing restore may have consumed the file between our table
+		// miss and this read; it installs before removing, so re-check.
+		m.mu.Lock()
+		s, ok := m.sessions[id]
+		m.mu.Unlock()
+		if ok {
+			return s, nil
+		}
+		return nil, errSessionNotFound
+	}
+	start := time.Now()
+	var env spillEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		m.restoreErrs.Inc()
+		return nil, errSessionNotFound
+	}
+	gm := m.factory(env.Model)
+	if err := gm.RestoreSession(bytes.NewReader(env.Session)); err != nil {
+		m.restoreErrs.Inc()
+		return nil, errSessionNotFound
+	}
+	m.mu.Lock()
+	if s, ok := m.sessions[id]; ok {
+		// A racing restore of the same id won; use the installed one.
+		m.mu.Unlock()
+		return s, nil
+	}
+	if m.maxSessions > 0 && len(m.sessions) >= m.maxSessions {
+		m.mu.Unlock()
+		return nil, errAtCapacity
+	}
+	s := &managedSession{
+		ID: id, Model: env.Model, Created: env.Created,
+		gm: gm, lastUsed: m.now(), asks: env.Asks,
+	}
+	m.sessions[id] = s
+	m.mu.Unlock()
+	os.Remove(path)
+	m.restores.Inc()
+	m.restoreLat.ObserveDuration(time.Since(start))
+	return s, nil
 }
 
 // close stops the janitor.
@@ -139,27 +288,42 @@ func (m *sessionManager) create(model string) (*managedSession, error) {
 	return s, nil
 }
 
-// get returns a live session, refreshing its idle clock.
+// get returns a live session, refreshing its idle clock; a spilled
+// session is restored first.
 func (m *sessionManager) get(id string) (*managedSession, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	s, ok := m.sessions[id]
-	if !ok {
-		return nil, errSessionNotFound
+	if ok {
+		s.lastUsed = m.now()
+		m.mu.Unlock()
+		return s, nil
 	}
+	m.mu.Unlock()
+	s, err := m.restore(id)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
 	s.lastUsed = m.now()
+	m.mu.Unlock()
 	return s, nil
 }
 
-// remove deletes a session; false when it does not exist.
+// remove deletes a session — live table entry, spill file, or both;
+// false when neither exists.
 func (m *sessionManager) remove(id string) bool {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.sessions[id]; !ok {
-		return false
+	_, ok := m.sessions[id]
+	if ok {
+		delete(m.sessions, id)
 	}
-	delete(m.sessions, id)
-	return true
+	m.mu.Unlock()
+	if path, valid := m.spillPath(id); valid {
+		if err := os.Remove(path); err == nil {
+			ok = true
+		}
+	}
+	return ok
 }
 
 // ask routes one query into a session, serialized per session (two asks
@@ -170,7 +334,13 @@ func (m *sessionManager) ask(ctx context.Context, id, query string) (*gridmind.E
 	s, ok := m.sessions[id]
 	if !ok {
 		m.mu.Unlock()
-		return nil, errSessionNotFound
+		// The id may name a spilled session; restoring here is what makes
+		// spill-to-disk transparent to clients.
+		var err error
+		if s, err = m.restore(id); err != nil {
+			return nil, err
+		}
+		m.mu.Lock()
 	}
 	if m.maxQueue > 0 && s.busy >= m.maxQueue {
 		// The hot-session pileup guard: shed load with a 429 instead of

@@ -5,8 +5,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -25,22 +28,35 @@ func newTestServer(t *testing.T, maxSessions int) (*server, *httptest.Server) {
 }
 
 // newTestServerQueue is newTestServer with an explicit per-session queue
-// cap and an optional shared gateway riding under every session.
-func newTestServerQueue(t *testing.T, maxSessions, maxQueue int, gw *gridmind.Gateway) (*server, *httptest.Server) {
+// cap and an optional gateway builder; the builder receives the process
+// metrics registry so gateway instruments land on the /metrics surface,
+// exactly as main wires it.
+func newTestServerQueue(t *testing.T, maxSessions, maxQueue int, buildGW func(*gridmind.MetricsRegistry) *gridmind.Gateway) (*server, *httptest.Server) {
+	return newTestServerFull(t, maxSessions, maxQueue, "", buildGW)
+}
+
+// newTestServerFull adds the spill directory knob.
+func newTestServerFull(t *testing.T, maxSessions, maxQueue int, spillDir string, buildGW func(*gridmind.MetricsRegistry) *gridmind.Gateway) (*server, *httptest.Server) {
 	t.Helper()
 	eng := gridmind.NewEngine()
+	met := eng.Metrics()
+	var gw *gridmind.Gateway
+	if buildGW != nil {
+		gw = buildGW(met)
+	}
 	factory := func(model string) *gridmind.GridMind {
 		if gw != nil {
 			return gridmind.New(gridmind.Options{Model: model, Client: gw, Engine: eng})
 		}
 		return gridmind.New(gridmind.Options{Model: model, Engine: eng})
 	}
-	mgr := newSessionManager(factory, time.Hour, maxSessions, maxQueue)
+	mgr := newSessionManager(factory, time.Hour, maxSessions, maxQueue, spillDir, met)
 	t.Cleanup(mgr.close)
 	profile, _ := llm.ProfileByName(gridmind.ModelGPTO3)
 	s := &server{
 		mgr:      mgr,
 		eng:      eng,
+		met:      met,
 		def:      factory(gridmind.ModelGPTO3),
 		sim:      llm.Handler(llm.NewSim(profile)),
 		maxBody:  4096,
@@ -205,12 +221,11 @@ func TestAskValidation(t *testing.T) {
 	}
 }
 
-func TestMetricsGauges(t *testing.T) {
-	_, ts := newTestServer(t, 8)
-	if resp, _ := postJSON(t, ts.URL+"/sessions", map[string]any{}); resp.StatusCode != http.StatusCreated {
-		t.Fatal("create failed")
-	}
-	resp, err := http.Get(ts.URL + "/metrics")
+// fetchMetrics GETs a /metrics variant and returns status, content type
+// and body.
+func fetchMetrics(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,13 +234,62 @@ func TestMetricsGauges(t *testing.T) {
 	if _, err := buf.ReadFrom(resp.Body); err != nil {
 		t.Fatal(err)
 	}
-	body := buf.String()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("/metrics status %d", resp.StatusCode)
+	return resp.StatusCode, resp.Header.Get("Content-Type"), buf.String()
+}
+
+// TestMetricsPrometheus: /metrics serves the process registry in
+// Prometheus text format — session gauge, engine artifact counters with
+// result labels, and the per-tool latency histograms the coordinator
+// registers — with the exposition content type.
+func TestMetricsPrometheus(t *testing.T) {
+	_, ts := newTestServer(t, 8)
+	if resp, _ := postJSON(t, ts.URL+"/sessions", map[string]any{}); resp.StatusCode != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	if resp, _ := postJSON(t, ts.URL+"/ask", map[string]any{"query": "Solve IEEE 14"}); resp.StatusCode != http.StatusOK {
+		t.Fatal("ask failed")
+	}
+	status, ct, body := fetchMetrics(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	if !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q, want Prometheus text exposition", ct)
+	}
+	for _, want := range []string{
+		"# TYPE gridmind_sessions_live gauge",
+		"gridmind_sessions_live 1",
+		"# TYPE gridmind_engine_ptdf_builds_total counter",
+		`gridmind_engine_pristine_lookups_total{result="miss"} 1`,
+		`gridmind_engine_opf_context_checkouts_total{result=`,
+		`gridmind_engine_base_pf_total{result=`,
+		"# TYPE gridmind_tool_latency_seconds histogram",
+		"gridmind_tool_latency_seconds_bucket{",
+		`gridmind_tool_invocations_total{tool="solve_acopf_case"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestMetricsCSVLegacy: ?format=csv keeps the pre-Prometheus body — the
+// interaction CSV plus comment-prefixed engine gauges.
+func TestMetricsCSVLegacy(t *testing.T) {
+	_, ts := newTestServer(t, 8)
+	if resp, _ := postJSON(t, ts.URL+"/sessions", map[string]any{}); resp.StatusCode != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	status, ct, body := fetchMetrics(t, ts.URL+"/metrics?format=csv")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics?format=csv status %d", status)
+	}
+	if !strings.HasPrefix(ct, "text/csv") {
+		t.Fatalf("legacy content type %q, want text/csv", ct)
 	}
 	for _, gauge := range []string{"# live_sessions 1", "# engine_ptdf_builds", "# engine_opf_context_reuses", "# engine_base_pf_hits"} {
 		if !strings.Contains(body, gauge) {
-			t.Fatalf("/metrics missing %q in:\n%s", gauge, body)
+			t.Fatalf("legacy /metrics missing %q in:\n%s", gauge, body)
 		}
 	}
 }
@@ -470,24 +534,27 @@ func TestGatewayOutageReturns503AndRecovers(t *testing.T) {
 
 	var clkMu sync.Mutex
 	now := time.Unix(1_700_000_000, 0)
-	gw, err := gridmind.NewGateway(
-		[]gridmind.GatewayDeployment{{Name: "only", Client: backend}},
-		gridmind.GatewayConfig{
-			Breaker: gateway.BreakerConfig{
-				Window: 4, MinSamples: 1, FailureRatio: 0.5,
-				OpenTimeout: 15 * time.Second, HalfOpenSuccesses: 1,
-			},
-			Retry: gateway.RetryConfig{
-				MaxAttempts: 2, BaseBackoff: time.Millisecond,
-				MaxBackoff: 2 * time.Millisecond, AttemptTimeout: -1,
-			},
-			Now: func() time.Time { clkMu.Lock(); defer clkMu.Unlock(); return now },
-		})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(gw.Close)
-	_, ts := newTestServerQueue(t, 8, 8, gw)
+	_, ts := newTestServerQueue(t, 8, 8, func(met *gridmind.MetricsRegistry) *gridmind.Gateway {
+		gw, err := gridmind.NewGateway(
+			[]gridmind.GatewayDeployment{{Name: "only", Client: backend}},
+			gridmind.GatewayConfig{
+				Breaker: gateway.BreakerConfig{
+					Window: 4, MinSamples: 1, FailureRatio: 0.5,
+					OpenTimeout: 15 * time.Second, HalfOpenSuccesses: 1,
+				},
+				Retry: gateway.RetryConfig{
+					MaxAttempts: 2, BaseBackoff: time.Millisecond,
+					MaxBackoff: 2 * time.Millisecond, AttemptTimeout: -1,
+				},
+				Now:     func() time.Time { clkMu.Lock(); defer clkMu.Unlock(); return now },
+				Metrics: met,
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(gw.Close)
+		return gw
+	})
 
 	// Outage: the first failure trips the breaker (MinSamples 1), the
 	// retry round finds every deployment open → ErrUnavailable → 503.
@@ -513,20 +580,239 @@ func TestGatewayOutageReturns503AndRecovers(t *testing.T) {
 		t.Fatalf("recovered ask unsuccessful: %v", out2)
 	}
 
-	// The gateway's counters ride the /metrics surface.
-	mresp, err := http.Get(ts.URL + "/metrics")
+	// The gateway's instruments ride the Prometheus /metrics surface:
+	// request/retry counters and the per-deployment breaker-state gauge
+	// (0 = closed again after recovery).
+	_, _, body := fetchMetrics(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`gridmind_gateway_requests_total{gateway="gateway"}`,
+		`gridmind_gateway_retries_total{gateway="gateway"}`,
+		`gridmind_gateway_breaker_state{deployment="only",gateway="gateway"} 0`,
+		`gridmind_gateway_deployment_attempts_total{deployment="only",gateway="gateway"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestSessionSpillRestore is the spill-to-disk acceptance path over
+// httptest: a session accumulates state (a solve plus one modification),
+// idle-expires into the spill directory, and the next ask on the same id
+// transparently restores it — the reply still knows about the
+// modification, the spill file is consumed, and the lifecycle counters
+// land on /metrics.
+func TestSessionSpillRestore(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServerFull(t, 8, 8, dir, nil)
+
+	resp, out := postJSON(t, ts.URL+"/sessions", map[string]any{})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d", resp.StatusCode)
+	}
+	id := out["session_id"].(string)
+	for _, q := range []string{"Solve IEEE 14", "Increase the load at bus 9 to 45 MW"} {
+		resp, aout := postJSON(t, ts.URL+"/ask", map[string]any{"query": q, "session_id": id})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ask %q status %d: %v", q, resp.StatusCode, aout)
+		}
+	}
+
+	// Fast-forward past the TTL: the sweep spills instead of dropping.
+	var offset atomic.Int64
+	offset.Store(int64(2 * time.Hour))
+	s.mgr.mu.Lock()
+	s.mgr.now = func() time.Time { return time.Now().Add(time.Duration(offset.Load())) }
+	s.mgr.mu.Unlock()
+	if n := s.mgr.expireIdle(); n != 1 {
+		t.Fatalf("expired %d sessions, want 1", n)
+	}
+	if s.mgr.len() != 0 {
+		t.Fatal("spilled session still in the live table")
+	}
+	spillFile := filepath.Join(dir, id+".json")
+	if _, err := os.Stat(spillFile); err != nil {
+		t.Fatalf("spill file missing: %v", err)
+	}
+
+	// Same id, next ask: transparent restore with the diff intact.
+	aresp, aout := postJSON(t, ts.URL+"/ask", map[string]any{"query": "What is the current network status?", "session_id": id})
+	if aresp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restore ask status %d: %v", aresp.StatusCode, aout)
+	}
+	reply, _ := aout["reply"].(string)
+	if !strings.Contains(reply, "1 modification") {
+		t.Fatalf("restored session lost its diff: %q", reply)
+	}
+	if _, err := os.Stat(spillFile); !os.IsNotExist(err) {
+		t.Fatalf("spill file not consumed by restore: %v", err)
+	}
+	ms, err := s.mgr.get(id)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer mresp.Body.Close()
-	var buf bytes.Buffer
-	if _, err := buf.ReadFrom(mresp.Body); err != nil {
+	if len(ms.gm.Session().Diffs()) != 1 {
+		t.Fatalf("restored diffs %d, want 1", len(ms.gm.Session().Diffs()))
+	}
+
+	_, _, body := fetchMetrics(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"gridmind_sessions_spilled_total 1",
+		"gridmind_sessions_restored_total 1",
+		"gridmind_sessions_expired_total 1",
+		"gridmind_sessions_restore_latency_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	// DELETE on a spilled id removes the file too. The restore refreshed
+	// the idle clock, so push the fake clock past another TTL first.
+	offset.Store(int64(5 * time.Hour))
+	if n := s.mgr.expireIdle(); n != 1 {
+		t.Fatalf("re-expire count %d, want 1", n)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/sessions/"+id, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
 		t.Fatal(err)
 	}
-	body := buf.String()
-	for _, gauge := range []string{"# gateway_requests", "# gateway_retries", "# gateway_deployment only state=closed"} {
-		if !strings.Contains(body, gauge) {
-			t.Fatalf("/metrics missing %q in:\n%s", gauge, body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete spilled session status %d", dresp.StatusCode)
+	}
+	if _, err := os.Stat(spillFile); !os.IsNotExist(err) {
+		t.Fatal("delete left the spill file behind")
+	}
+	if resp, _ := postJSON(t, ts.URL+"/ask", map[string]any{"query": "Solve IEEE 14", "session_id": id}); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ask on deleted spilled session: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSessionTouchRestores: POST /sessions/{id} is the explicit restore
+// surface — it revives a spilled session without routing a query through
+// it, and 404s on ids that exist nowhere.
+func TestSessionTouchRestores(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServerFull(t, 8, 8, dir, nil)
+	resp, out := postJSON(t, ts.URL+"/sessions", map[string]any{})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d", resp.StatusCode)
+	}
+	id := out["session_id"].(string)
+
+	s.mgr.mu.Lock()
+	s.mgr.now = func() time.Time { return time.Now().Add(2 * time.Hour) }
+	s.mgr.mu.Unlock()
+	if n := s.mgr.expireIdle(); n != 1 {
+		t.Fatalf("expired %d sessions, want 1", n)
+	}
+
+	tresp, tout := postJSON(t, ts.URL+"/sessions/"+id, map[string]any{})
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("touch status %d: %v", tresp.StatusCode, tout)
+	}
+	if got, _ := tout["session_id"].(string); got != id {
+		t.Fatalf("touch returned id %q, want %q", got, id)
+	}
+	if s.mgr.len() != 1 {
+		t.Fatal("touched session not back in the live table")
+	}
+	if resp, _ := postJSON(t, ts.URL+"/sessions/sess-unknown", map[string]any{}); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("touch on unknown id: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestConcurrentScrapeSpillAsk is the observability/spill race hammer,
+// run under -race in CI: 8 sessions ask repeatedly while a fake-clock
+// janitor keeps spilling every idle session and a scraper hammers
+// WritePrometheus. Asks must never 404 — restore-on-touch makes spilling
+// invisible — and the scrape must stay internally consistent.
+func TestConcurrentScrapeSpillAsk(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServerFull(t, 16, 8, dir, nil)
+
+	const K = 8
+	ids := make([]string, K)
+	for i := range ids {
+		resp, out := postJSON(t, ts.URL+"/sessions", map[string]any{})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %d: status %d", i, resp.StatusCode)
 		}
+		ids[i] = out["session_id"].(string)
+	}
+
+	// The manager clock jumps 2 TTLs forward on every sweep, so any
+	// session idle since the previous sweep expires again — repeated
+	// spill/restore cycles, not just one.
+	var offset atomic.Int64
+	s.mgr.mu.Lock()
+	s.mgr.now = func() time.Time { return time.Now().Add(time.Duration(offset.Load())) }
+	s.mgr.mu.Unlock()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // janitor hammer
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			offset.Add(int64(2 * time.Hour))
+			s.mgr.expireIdle()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Add(1)
+	go func() { // scraper hammer
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(ts.URL + "/metrics")
+			if err != nil {
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	errs := make([]error, K)
+	var askers sync.WaitGroup
+	for i, id := range ids {
+		askers.Add(1)
+		go func(i int, id string) {
+			defer askers.Done()
+			for n := 0; n < 3; n++ {
+				resp, out := postJSON(t, ts.URL+"/ask", map[string]any{"query": "Solve IEEE 14", "session_id": id})
+				if resp.StatusCode != http.StatusOK {
+					errs[i] = fmt.Errorf("session %s ask %d: status %d body %v", id, n, resp.StatusCode, out)
+					return
+				}
+			}
+		}(i, id)
+	}
+	askers.Wait()
+	close(stop)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The final scrape must hold the histogram invariant even after all
+	// that churn: +Inf bucket == observation count.
+	_, _, body := fetchMetrics(t, ts.URL+"/metrics")
+	if !strings.Contains(body, "gridmind_sessions_spilled_total") {
+		t.Fatalf("no spill counters on /metrics:\n%s", body)
 	}
 }

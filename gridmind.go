@@ -36,6 +36,7 @@ import (
 	"gridmind/internal/llm/gateway"
 	"gridmind/internal/metrics"
 	"gridmind/internal/model"
+	"gridmind/internal/obs"
 	"gridmind/internal/opf"
 	"gridmind/internal/powerflow"
 	"gridmind/internal/scenario"
@@ -110,6 +111,17 @@ type (
 	// MCResult is a Monte Carlo reliability estimate with Wilson 95%
 	// confidence intervals.
 	MCResult = scenario.MCResult
+	// MetricsRegistry is the typed observability registry every layer
+	// publishes on (counters, gauges, latency histograms); scrape it with
+	// WritePrometheus. See Options.Metrics and (*GridMind).MetricsRegistry.
+	MetricsRegistry = obs.Registry
+	// MetricsCounter is an allocation-free monotone counter.
+	MetricsCounter = obs.Counter
+	// MetricsGauge is an allocation-free float64 gauge.
+	MetricsGauge = obs.Gauge
+	// MetricsHistogram is a fixed-bucket latency histogram with summary
+	// quantiles.
+	MetricsHistogram = obs.Histogram
 )
 
 // NewEngine returns a fresh shared artifact store. Hand the same engine to
@@ -117,6 +129,12 @@ type (
 // case share one compilation instead of N; sessions created without one
 // share a process-wide default.
 func NewEngine() *Engine { return engine.New() }
+
+// NewMetricsRegistry returns a fresh observability registry. Pass it via
+// Options.Metrics (and GatewayConfig.Metrics) to collect every layer's
+// instruments on one scrapeable surface; a session created without one
+// publishes on its engine's registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // Evaluated model names (the paper's §4 set).
 const (
@@ -216,6 +234,11 @@ type Options struct {
 	// backend. Latency is recorded as reported by the client; the session
 	// clock stays real.
 	Client Client
+	// Metrics, when non-nil, is the observability registry the session's
+	// tool layer and per-agent instrumentation publish on; nil selects the
+	// engine's registry. Embedders scrape it with WritePrometheus without
+	// running the server (see MetricsRegistry()).
+	Metrics *MetricsRegistry
 }
 
 // GridMind is a conversational session: planner, coordinator, the ACOPF
@@ -225,6 +248,7 @@ type GridMind struct {
 	recorder *metrics.Recorder
 	clock    simclock.Clock
 	start    time.Time
+	met      *obs.Registry
 }
 
 // New creates a session.
@@ -271,8 +295,13 @@ func New(o Options) *GridMind {
 		Engine:        o.Engine,
 		AbsorbLatency: absorb,
 		Salt:          o.Salt,
+		Metrics:       o.Metrics,
 	})
-	return &GridMind{coord: coord, recorder: rec, clock: clock, start: clock.Now()}
+	met := o.Metrics
+	if met == nil {
+		met = coord.Engine.Metrics()
+	}
+	return &GridMind{coord: coord, recorder: rec, clock: clock, start: clock.Now(), met: met}
 }
 
 // Engine returns the session's shared artifact store.
@@ -286,8 +315,17 @@ func (g *GridMind) Ask(ctx context.Context, query string) (*Exchange, error) {
 // Session exposes the shared context for artifact inspection.
 func (g *GridMind) Session() *session.Context { return g.coord.Session }
 
-// Metrics returns all recorded interactions.
+// Metrics returns all recorded interactions (the paper's per-turn
+// instrumentation rows). For the typed counter/gauge/histogram registry,
+// see MetricsRegistry.
 func (g *GridMind) Metrics() []Interaction { return g.recorder.Rows() }
+
+// MetricsRegistry returns the observability registry the session
+// publishes on — the one from Options.Metrics, or the engine's when none
+// was given. Embedders scrape it directly:
+//
+//	gm.MetricsRegistry().WritePrometheus(w)
+func (g *GridMind) MetricsRegistry() *MetricsRegistry { return g.met }
 
 // WriteMetricsCSV dumps the instrumentation log.
 func (g *GridMind) WriteMetricsCSV(w io.Writer) error {
@@ -325,6 +363,7 @@ func (g *GridMind) RestoreSession(r io.Reader) error {
 		Engine:        g.coord.Engine,
 		AbsorbLatency: g.coord.ACOPF.AbsorbLatency,
 		Salt:          g.coord.ACOPF.Salt,
+		Metrics:       g.met,
 	})
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"gridmind/internal/engine"
 	"gridmind/internal/llm"
 	"gridmind/internal/metrics"
+	"gridmind/internal/obs"
 	"gridmind/internal/session"
 	"gridmind/internal/simclock"
 	"gridmind/internal/tools"
@@ -82,6 +83,11 @@ type Config struct {
 	AbsorbLatency bool
 	// Salt: run index for seeded randomness.
 	Salt int64
+	// Metrics is the obs registry the tool layer (per-tool invocation
+	// counts + latency histograms) and the Recorder publish on; nil
+	// selects the engine's registry, so the whole stack lands on one
+	// scrapeable surface by default.
+	Metrics *obs.Registry
 }
 
 // NewCoordinator wires the two domain agents over one shared session
@@ -101,11 +107,18 @@ func NewCoordinator(cfg Config) *Coordinator {
 	} else if sess.Engine() == nil {
 		sess.AttachEngine(eng)
 	}
-	reg := tools.NewGridMind(sess, eng)
+	met := cfg.Metrics
+	if met == nil {
+		met = eng.Metrics()
+	}
+	reg := tools.NewGridMind(sess, eng).Observe(met)
 	// The §B.4 workflow extensions (sensitivity analysis, economic vs
 	// security-constrained comparison) register like any other tool.
 	if err := tools.RegisterExtensions(reg, sess, eng); err != nil {
 		panic(err) // static registration; failure is a programming error
+	}
+	if cfg.Recorder != nil {
+		cfg.Recorder.Observe(met)
 	}
 	mk := func(name, prompt string, toolNames []string) *Agent {
 		return &Agent{

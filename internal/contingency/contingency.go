@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"gridmind/internal/model"
+	"gridmind/internal/obs"
 	"gridmind/internal/powerflow"
 	"gridmind/internal/ptdf"
 )
@@ -187,6 +188,10 @@ type Options struct {
 	// structure, when the engine provides it) instead of once per outage.
 	// Nil makes Analyze create a sweep-local cache.
 	Reorder *powerflow.OrderingCache
+	// Metrics, when non-nil, receives sweep-level counters (sweeps run,
+	// outages analyzed, DC-screen certificates) — recorded in bulk after
+	// the worker pool drains, never on the per-outage hot path.
+	Metrics *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -327,7 +332,19 @@ func Analyze(n *model.Network, base *powerflow.Result, opts Options) (*ResultSet
 	wg.Wait()
 	rs.Outages = results
 	rs.Screened = int(screened)
+	recordSweep(opts.Metrics, "n1", len(results), int(screened))
 	return rs, nil
+}
+
+// recordSweep publishes one sweep's bulk counters on met (no-op when nil).
+// kind labels the sweep family: n1, n2, gen.
+func recordSweep(met *obs.Registry, kind string, outages, screened int) {
+	if met == nil {
+		return
+	}
+	met.Counter("gridmind_contingency_sweeps_total", "Contingency sweeps completed, by kind.", "kind", kind).Inc()
+	met.Counter("gridmind_contingency_outages_total", "Outages evaluated across sweeps, by kind.", "kind", kind).Add(int64(outages))
+	met.Counter("gridmind_contingency_screened_total", "Outages certified secure by the DC screen (no AC solve), by kind.", "kind", kind).Add(int64(screened))
 }
 
 // AnalyzeOne simulates the outage of branch k and scores it. Like Analyze,

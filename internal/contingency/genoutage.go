@@ -286,5 +286,6 @@ func AnalyzeGenOutages(n *model.Network, opts Options) ([]GenOutageResult, error
 	if len(out) == 0 {
 		return nil, fmt.Errorf("contingency: no analyzable generator outages in %s", n.Name)
 	}
+	recordSweep(opts.Metrics, "gen", len(out), 0)
 	return out, nil
 }

@@ -361,6 +361,7 @@ func AnalyzeN2(n *model.Network, base *powerflow.Result, n1 *ResultSet, opts N2O
 	wg.Wait()
 	rs.Outages = results
 	rs.Screened = int(screened)
+	recordSweep(opts.Metrics, "n2", len(results), int(screened))
 	return rs, nil
 }
 

@@ -21,11 +21,11 @@ import (
 	"encoding/hex"
 	"math"
 	"sync"
-	"sync/atomic"
 
 	"gridmind/internal/cases"
 	"gridmind/internal/contingency"
 	"gridmind/internal/model"
+	"gridmind/internal/obs"
 	"gridmind/internal/opf"
 	"gridmind/internal/powerflow"
 	"gridmind/internal/ptdf"
@@ -49,20 +49,45 @@ type Engine struct {
 	// never evicted.
 	maxSweepStates int
 
+	met   *obs.Registry
 	stats engineStats
 }
 
-// engineStats are the process-wide reuse counters, all atomically updated.
+// engineStats are the process-wide reuse counters, published on the
+// engine's obs registry; Stats() is a read view over the same handles.
 type engineStats struct {
-	pristineHits, pristineMisses atomic.Int64
-	structHits, structMisses     atomic.Int64
-	ybusBuilds                   atomic.Int64
-	topoBuilds                   atomic.Int64
-	ptdfBuilds                   atomic.Int64
-	opfReuses, opfCreates        atomic.Int64
-	sweepPoolHits, sweepPoolNew  atomic.Int64
-	scnPoolHits, scnPoolNew      atomic.Int64
-	basePFHits, basePFSolves     atomic.Int64
+	pristineHits, pristineMisses *obs.Counter
+	structHits, structMisses     *obs.Counter
+	ybusBuilds                   *obs.Counter
+	topoBuilds                   *obs.Counter
+	ptdfBuilds                   *obs.Counter
+	opfReuses, opfCreates        *obs.Counter
+	sweepPoolHits, sweepPoolNew  *obs.Counter
+	scnPoolHits, scnPoolNew      *obs.Counter
+	basePFHits, basePFSolves     *obs.Counter
+}
+
+func newEngineStats(met *obs.Registry) engineStats {
+	lookup := func(name, help, result string) *obs.Counter {
+		return met.Counter(name, help, "result", result)
+	}
+	return engineStats{
+		pristineHits:   lookup("gridmind_engine_pristine_lookups_total", "Case-library lookups by result (hit = served from store, miss = loaded fresh).", "hit"),
+		pristineMisses: lookup("gridmind_engine_pristine_lookups_total", "", "miss"),
+		structHits:     lookup("gridmind_engine_struct_lookups_total", "Structural-signature lookups by result (hit = existing artifact set).", "hit"),
+		structMisses:   lookup("gridmind_engine_struct_lookups_total", "", "miss"),
+		ybusBuilds:     met.Counter("gridmind_engine_ybus_builds_total", "Admittance matrices actually constructed."),
+		topoBuilds:     met.Counter("gridmind_engine_topology_builds_total", "Topology adjacencies actually constructed."),
+		ptdfBuilds:     met.Counter("gridmind_engine_ptdf_builds_total", "PTDF factor matrices actually constructed."),
+		opfReuses:      lookup("gridmind_engine_opf_context_checkouts_total", "KKT solver-context checkouts by result (reuse = from pool, create = fresh compile).", "reuse"),
+		opfCreates:     lookup("gridmind_engine_opf_context_checkouts_total", "", "create"),
+		sweepPoolHits:  lookup("gridmind_engine_sweep_pool_lookups_total", "Contingency sweep-pool lookups by session state.", "hit"),
+		sweepPoolNew:   lookup("gridmind_engine_sweep_pool_lookups_total", "", "new"),
+		scnPoolHits:    lookup("gridmind_engine_scenario_pool_lookups_total", "Scenario worker-pool lookups by session state.", "hit"),
+		scnPoolNew:     lookup("gridmind_engine_scenario_pool_lookups_total", "", "new"),
+		basePFHits:     lookup("gridmind_engine_base_pf_total", "Base power-flow requests by result (hit = memoized, solve = computed).", "hit"),
+		basePFSolves:   lookup("gridmind_engine_base_pf_total", "", "solve"),
+	}
 }
 
 // Stats is a point-in-time snapshot of the engine's reuse counters.
@@ -90,8 +115,17 @@ type Stats struct {
 	BasePFHits, BasePFSolves int64
 }
 
-// New returns an empty engine.
-func New() *Engine {
+// New returns an empty engine publishing its counters on a fresh private
+// obs registry (so exact-counter tests stay isolated). Use NewWithMetrics
+// to publish on a shared registry instead.
+func New() *Engine { return NewWithMetrics(obs.NewRegistry()) }
+
+// NewWithMetrics returns an empty engine whose reuse counters are
+// registered on met. A nil met selects a fresh private registry.
+func NewWithMetrics(met *obs.Registry) *Engine {
+	if met == nil {
+		met = obs.NewRegistry()
+	}
 	return &Engine{
 		pristine:       make(map[string]*model.Network),
 		structs:        make(map[string]*Artifacts),
@@ -100,34 +134,43 @@ func New() *Engine {
 		scn:            make(map[string]*scenario.Pool),
 		basePF:         make(map[string]*basePFEntry),
 		maxSweepStates: 64,
+		met:            met,
+		stats:          newEngineStats(met),
 	}
 }
 
-var defaultEngine = New()
+var defaultEngine = NewWithMetrics(obs.Default())
 
 // Default returns the shared process-wide engine. Sessions created without
 // an explicit engine share it, so independent gridmind.New calls in one
-// process still converge on one artifact set per case.
+// process still converge on one artifact set per case. Its counters
+// publish on obs.Default().
 func Default() *Engine { return defaultEngine }
 
-// Stats snapshots the reuse counters.
+// Metrics returns the obs registry the engine publishes its counters on.
+// The serving stack threads this single registry through the gateway,
+// session manager, and every session so one scrape sees the whole process.
+func (e *Engine) Metrics() *obs.Registry { return e.met }
+
+// Stats snapshots the reuse counters. It is a read view over the obs
+// registry instruments — the same values a /metrics scrape reports.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		PristineHits:     e.stats.pristineHits.Load(),
-		PristineMisses:   e.stats.pristineMisses.Load(),
-		StructHits:       e.stats.structHits.Load(),
-		StructMisses:     e.stats.structMisses.Load(),
-		YbusBuilds:       e.stats.ybusBuilds.Load(),
-		TopoBuilds:       e.stats.topoBuilds.Load(),
-		PTDFBuilds:       e.stats.ptdfBuilds.Load(),
-		OPFReuses:        e.stats.opfReuses.Load(),
-		OPFCreates:       e.stats.opfCreates.Load(),
-		SweepPoolHits:    e.stats.sweepPoolHits.Load(),
-		SweepPoolNew:     e.stats.sweepPoolNew.Load(),
-		ScenarioPoolHits: e.stats.scnPoolHits.Load(),
-		ScenarioPoolNew:  e.stats.scnPoolNew.Load(),
-		BasePFHits:       e.stats.basePFHits.Load(),
-		BasePFSolves:     e.stats.basePFSolves.Load(),
+		PristineHits:     e.stats.pristineHits.Value(),
+		PristineMisses:   e.stats.pristineMisses.Value(),
+		StructHits:       e.stats.structHits.Value(),
+		StructMisses:     e.stats.structMisses.Value(),
+		YbusBuilds:       e.stats.ybusBuilds.Value(),
+		TopoBuilds:       e.stats.topoBuilds.Value(),
+		PTDFBuilds:       e.stats.ptdfBuilds.Value(),
+		OPFReuses:        e.stats.opfReuses.Value(),
+		OPFCreates:       e.stats.opfCreates.Value(),
+		SweepPoolHits:    e.stats.sweepPoolHits.Value(),
+		SweepPoolNew:     e.stats.sweepPoolNew.Value(),
+		ScenarioPoolHits: e.stats.scnPoolHits.Value(),
+		ScenarioPoolNew:  e.stats.scnPoolNew.Value(),
+		BasePFHits:       e.stats.basePFHits.Value(),
+		BasePFSolves:     e.stats.basePFSolves.Value(),
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"gridmind/internal/llm"
+	"gridmind/internal/obs"
 )
 
 // Deployment names one backend the gateway can route to.
@@ -90,22 +91,31 @@ type Config struct {
 	// the real clock and a context-preemptable timer sleep.
 	Now   func() time.Time
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Metrics is the obs registry the gateway publishes its counters,
+	// breaker states, and EWMA latency on, labelled by gateway and
+	// deployment name. Nil selects a fresh private registry so tests that
+	// pin exact counters stay isolated; the server passes the engine's
+	// registry so one scrape covers the whole process.
+	Metrics *obs.Registry
 }
 
-// deployment is a Deployment plus its runtime state.
+// deployment is a Deployment plus its runtime state. The counters are
+// obs registry instruments labelled {gateway, deployment}; Stats() reads
+// the same handles a /metrics scrape does.
 type deployment struct {
 	Deployment
 	idx int
 	br  *breaker
 
-	ewma      atomic.Int64 // EWMA latency, nanoseconds
+	ewma      atomic.Int64 // EWMA latency, nanoseconds (routing input)
 	curWeight int64        // smooth-WRR credit, guarded by Gateway.wrrMu
 
-	attempts  atomic.Int64
-	successes atomic.Int64
-	failures  atomic.Int64
-	timeouts  atomic.Int64
-	probes    atomic.Int64
+	attempts  *obs.Counter
+	successes *obs.Counter
+	failures  *obs.Counter
+	timeouts  *obs.Counter
+	probes    *obs.Counter
+	latency   *obs.Histogram
 }
 
 // Gateway routes llm.Client traffic across deployments. It is safe for
@@ -121,11 +131,12 @@ type Gateway struct {
 	jmu    sync.Mutex
 	jitter *rand.Rand
 
-	requests  atomic.Int64
-	succeeded atomic.Int64
-	failed    atomic.Int64
-	retries   atomic.Int64
-	exhausted atomic.Int64
+	met       *obs.Registry
+	requests  *obs.Counter
+	succeeded *obs.Counter
+	failed    *obs.Counter
+	retries   *obs.Counter
+	exhausted *obs.Counter
 
 	healthStop chan struct{}
 	healthDone chan struct{}
@@ -151,7 +162,17 @@ func New(deps []Deployment, cfg Config) (*Gateway, error) {
 	if cfg.Sleep == nil {
 		cfg.Sleep = realSleep
 	}
-	g := &Gateway{cfg: cfg, jitter: rand.New(rand.NewSource(cfg.Seed))}
+	met := cfg.Metrics
+	if met == nil {
+		met = obs.NewRegistry()
+	}
+	g := &Gateway{cfg: cfg, jitter: rand.New(rand.NewSource(cfg.Seed)), met: met}
+	gw := cfg.Name
+	g.requests = met.Counter("gridmind_gateway_requests_total", "Requests entering the gateway.", "gateway", gw)
+	g.succeeded = met.Counter("gridmind_gateway_requests_succeeded_total", "Requests answered by some deployment.", "gateway", gw)
+	g.failed = met.Counter("gridmind_gateway_requests_failed_total", "Requests that failed after routing/retry.", "gateway", gw)
+	g.retries = met.Counter("gridmind_gateway_retries_total", "Attempts beyond each request's first.", "gateway", gw)
+	g.exhausted = met.Counter("gridmind_gateway_retry_exhausted_total", "Requests that spent the whole retry budget.", "gateway", gw)
 	seen := map[string]bool{}
 	for i, d := range deps {
 		if d.Client == nil {
@@ -164,11 +185,28 @@ func New(deps []Deployment, cfg Config) (*Gateway, error) {
 			return nil, fmt.Errorf("gateway: duplicate deployment name %q", d.Name)
 		}
 		seen[d.Name] = true
-		g.deps = append(g.deps, &deployment{
+		dep := &deployment{
 			Deployment: d,
 			idx:        i,
 			br:         newBreaker(cfg.Breaker, cfg.Now),
-		})
+			attempts:   met.Counter("gridmind_gateway_deployment_attempts_total", "Attempts routed to a deployment.", "gateway", gw, "deployment", d.Name),
+			successes:  met.Counter("gridmind_gateway_deployment_successes_total", "Successful attempts per deployment.", "gateway", gw, "deployment", d.Name),
+			failures:   met.Counter("gridmind_gateway_deployment_failures_total", "Failed attempts per deployment.", "gateway", gw, "deployment", d.Name),
+			timeouts:   met.Counter("gridmind_gateway_deployment_timeouts_total", "Attempt-timeout failures per deployment.", "gateway", gw, "deployment", d.Name),
+			probes:     met.Counter("gridmind_gateway_deployment_probes_total", "Half-open breaker probes per deployment.", "gateway", gw, "deployment", d.Name),
+			latency:    met.Histogram("gridmind_gateway_deployment_latency_seconds", "Successful-attempt latency per deployment.", nil, "gateway", gw, "deployment", d.Name),
+		}
+		br := dep.br
+		met.GaugeFunc("gridmind_gateway_breaker_state", "Breaker state: 0 closed, 1 half-open, 2 open.",
+			func() float64 { return breakerStateValue(br.State()) }, "gateway", gw, "deployment", d.Name)
+		met.CounterFunc("gridmind_gateway_breaker_opens_total", "Breaker closed→open transitions.",
+			func() float64 { o, _ := br.Counters(); return float64(o) }, "gateway", gw, "deployment", d.Name)
+		met.CounterFunc("gridmind_gateway_breaker_closes_total", "Breaker →closed transitions.",
+			func() float64 { _, c := br.Counters(); return float64(c) }, "gateway", gw, "deployment", d.Name)
+		ew := &dep.ewma
+		met.GaugeFunc("gridmind_gateway_deployment_ewma_latency_seconds", "EWMA latency the least-latency router steers by.",
+			func() float64 { return time.Duration(ew.Load()).Seconds() }, "gateway", gw, "deployment", d.Name)
+		g.deps = append(g.deps, dep)
 	}
 	g.byPriority = append([]*deployment(nil), g.deps...)
 	sort.SliceStable(g.byPriority, func(i, j int) bool {
@@ -266,6 +304,7 @@ func (g *Gateway) attempt(ctx context.Context, d *deployment, req *llm.Request, 
 			sample = g.cfg.Now().Sub(start)
 		}
 		d.observeLatency(int64(sample))
+		d.latency.ObserveDuration(sample)
 		return res, nil
 	}
 	if ctx.Err() != nil {
@@ -347,29 +386,45 @@ type Stats struct {
 	Deployments []DeploymentStats
 }
 
-// Stats snapshots all counters.
+// Stats snapshots all counters. It is a read view over the obs registry
+// instruments — the same values a /metrics scrape reports.
 func (g *Gateway) Stats() Stats {
 	s := Stats{
-		Requests:  g.requests.Load(),
-		Succeeded: g.succeeded.Load(),
-		Failed:    g.failed.Load(),
-		Retries:   g.retries.Load(),
-		Exhausted: g.exhausted.Load(),
+		Requests:  g.requests.Value(),
+		Succeeded: g.succeeded.Value(),
+		Failed:    g.failed.Value(),
+		Retries:   g.retries.Value(),
+		Exhausted: g.exhausted.Value(),
 	}
 	for _, d := range g.deps {
 		opens, closes := d.br.Counters()
 		s.Deployments = append(s.Deployments, DeploymentStats{
 			Name:          d.Name,
 			State:         d.br.State().String(),
-			Attempts:      d.attempts.Load(),
-			Successes:     d.successes.Load(),
-			Failures:      d.failures.Load(),
-			Timeouts:      d.timeouts.Load(),
-			Probes:        d.probes.Load(),
+			Attempts:      d.attempts.Value(),
+			Successes:     d.successes.Value(),
+			Failures:      d.failures.Value(),
+			Timeouts:      d.timeouts.Value(),
+			Probes:        d.probes.Value(),
 			BreakerOpens:  opens,
 			BreakerCloses: closes,
 			MeanLatency:   time.Duration(d.ewma.Load()),
 		})
 	}
 	return s
+}
+
+// Metrics returns the obs registry the gateway publishes on.
+func (g *Gateway) Metrics() *obs.Registry { return g.met }
+
+// breakerStateValue orders breaker states by badness for the state gauge.
+func breakerStateValue(s BreakerState) float64 {
+	switch s {
+	case StateHalfOpen:
+		return 1
+	case StateOpen:
+		return 2
+	default:
+		return 0
+	}
 }

@@ -11,6 +11,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"gridmind/internal/obs"
 )
 
 // Interaction is one agent turn's record.
@@ -33,16 +35,42 @@ type Interaction struct {
 type Recorder struct {
 	mu   sync.Mutex
 	rows []Interaction
+	met  *obs.Registry
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
+// Observe binds the recorder to an obs registry: every Record also feeds
+// the per-agent interaction/success counters and latency histogram.
+// Returns the recorder for chaining. Recording is per-turn, not hot-path,
+// so the registry's get-or-create lookup per record is acceptable.
+func (r *Recorder) Observe(met *obs.Registry) *Recorder {
+	r.mu.Lock()
+	r.met = met
+	r.mu.Unlock()
+	return r
+}
+
 // Record appends one interaction.
 func (r *Recorder) Record(i Interaction) {
 	r.mu.Lock()
 	r.rows = append(r.rows, i)
+	met := r.met
 	r.mu.Unlock()
+	if met == nil {
+		return
+	}
+	met.Counter("gridmind_agent_interactions_total", "Agent turns recorded.", "agent", i.Agent).Inc()
+	if i.Success {
+		met.Counter("gridmind_agent_success_total", "Agent turns that succeeded.", "agent", i.Agent).Inc()
+	}
+	met.Histogram("gridmind_agent_latency_seconds", "End-to-end agent turn latency.", nil, "agent", i.Agent).ObserveDuration(i.Latency)
+	met.Counter("gridmind_agent_tokens_total", "LLM tokens by direction.", "agent", i.Agent, "direction", "prompt").Add(int64(i.PromptTokens))
+	met.Counter("gridmind_agent_tokens_total", "", "agent", i.Agent, "direction", "completion").Add(int64(i.CompletionTokens))
+	met.Counter("gridmind_agent_validation_errors_total", "Tool-call validation failures.", "agent", i.Agent).Add(int64(i.ValidationErrors))
+	met.Counter("gridmind_agent_factual_slips_total", "Numeric claims contradicting tool output.", "agent", i.Agent).Add(int64(i.FactualSlips))
+	met.Counter("gridmind_agent_recoveries_total", "Solver fallback recoveries during turns.", "agent", i.Agent).Add(int64(i.Recoveries))
 }
 
 // Rows returns a snapshot copy of all interactions.

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type for the Prometheus text exposition
+// format produced by WritePrometheus.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+var (
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+)
+
+// WritePrometheus writes every registered metric in Prometheus text
+// exposition format (version 0.0.4): families sorted by name, one
+// HELP/TYPE pair per family, series in registration order. The registry
+// lock is held only while snapshotting the family list; instrument values
+// are read with atomic loads, and callback-backed series are evaluated
+// outside the lock so callbacks may take their own locks freely.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	snaps := make([][]*series, len(fams))
+	for i, f := range fams {
+		snaps[i] = append([]*series(nil), f.series...)
+	}
+	r.mu.Unlock()
+
+	order := make([]int, len(fams))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return fams[order[a]].name < fams[order[b]].name })
+
+	bw := bufio.NewWriter(w)
+	for _, i := range order {
+		f := fams[i]
+		if len(snaps[i]) == 0 {
+			continue
+		}
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		helpEscaper.WriteString(bw, f.help)
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range snaps[i] {
+			writeSeries(bw, f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(bw *bufio.Writer, f *family, s *series) {
+	switch {
+	case f.kind == kindHistogram:
+		writeHistogram(bw, f.name, s)
+	case s.fn != nil:
+		writeSample(bw, f.name, s.labels, "", formatFloat(s.fn()))
+	case f.kind == kindCounter:
+		writeSample(bw, f.name, s.labels, "", strconv.FormatInt(s.c.Value(), 10))
+	default:
+		writeSample(bw, f.name, s.labels, "", formatFloat(s.g.Value()))
+	}
+}
+
+// writeHistogram emits _bucket lines (cumulative, ending at +Inf), _sum,
+// and _count. The +Inf bucket and _count come from the same snapshot, so
+// the `+Inf == count` invariant holds even mid-traffic.
+func writeHistogram(bw *bufio.Writer, name string, s *series) {
+	cum, total, sum := s.h.snapshot()
+	for bi, bound := range s.h.bounds {
+		writeSample(bw, name+"_bucket", s.labels, formatFloat(bound), strconv.FormatInt(cum[bi], 10))
+	}
+	writeSample(bw, name+"_bucket", s.labels, "+Inf", strconv.FormatInt(total, 10))
+	writeSample(bw, name+"_sum", s.labels, "", formatFloat(sum))
+	writeSample(bw, name+"_count", s.labels, "", strconv.FormatInt(total, 10))
+}
+
+// writeSample emits one `name{labels} value` line. le, when non-empty, is
+// appended as the trailing `le` label (histogram bucket edges).
+func writeSample(bw *bufio.Writer, name string, labels []string, le, value string) {
+	bw.WriteString(name)
+	if len(labels) > 0 || le != "" {
+		bw.WriteByte('{')
+		for i := 0; i < len(labels); i += 2 {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(labels[i])
+			bw.WriteString(`="`)
+			labelEscaper.WriteString(bw, labels[i+1])
+			bw.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`le="`)
+			bw.WriteString(le)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -442,7 +442,9 @@ func Cascade(n *model.Network, base *powerflow.Result, ev Event, opts Options) (
 	opts.fill()
 	ctx := acquireCtx(&opts, n)
 	defer releaseCtx(&opts, ctx)
-	return runCascade(ctx, base, ev, opts), nil
+	r := runCascade(ctx, base, ev, opts)
+	recordScenario(opts.Metrics, "cascade", 1, 0)
+	return r, nil
 }
 
 // SweepResult aggregates a full cascade screening: one study per
@@ -597,5 +599,6 @@ func Sweep(n *model.Network, base *powerflow.Result, opts Options) (*SweepResult
 			sw.WorstSeed = k
 		}
 	}
+	recordScenario(opts.Metrics, "cascade_sweep", sw.Seeds, sw.Screened)
 	return sw, nil
 }

@@ -144,6 +144,7 @@ func Episode(n *model.Network, base *powerflow.Result, steps []EpisodeStep, opts
 		er.Steps = append(er.Steps, sr)
 		warm = &res.Voltages
 	}
+	recordScenario(opts.Metrics, "episode", len(er.Steps), 0)
 	return er, nil
 }
 

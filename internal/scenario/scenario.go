@@ -19,9 +19,25 @@ import (
 	"runtime"
 
 	"gridmind/internal/model"
+	"gridmind/internal/obs"
 	"gridmind/internal/powerflow"
 	"gridmind/internal/ptdf"
 )
+
+// recordScenario publishes one run's bulk counters on met (no-op when
+// nil). kind labels the run family (cascade, cascade_sweep, episode, mc);
+// units is what the run evaluated (seeds, steps, samples) and screened
+// how many seeds the DC pre-screen certified without AC work.
+func recordScenario(met *obs.Registry, kind string, units, screened int) {
+	if met == nil {
+		return
+	}
+	met.Counter("gridmind_scenario_runs_total", "Scenario-engine runs completed, by kind.", "kind", kind).Inc()
+	met.Counter("gridmind_scenario_units_total", "Work units evaluated (cascade seeds, episode steps, MC samples), by kind.", "kind", kind).Add(int64(units))
+	if screened > 0 {
+		met.Counter("gridmind_scenario_screened_total", "Cascade seeds certified non-cascading by the DC pre-screen.", "kind", kind).Add(int64(screened))
+	}
+}
 
 // ErrNoBase reports a missing or unconverged base-case solution.
 var ErrNoBase = errors.New("scenario: a converged base power flow is required")
@@ -83,6 +99,10 @@ type Options struct {
 	// Pool recycles the per-worker scenario contexts (compiled Newton
 	// pattern + LU symbolic analysis) across calls; see Pool.
 	Pool *Pool
+	// Metrics, when non-nil, receives scenario-level counters (cascade
+	// sweeps, seeds, screen certificates, episode steps, MC samples) —
+	// recorded in bulk per run, never per solve.
+	Metrics *obs.Registry
 }
 
 func (o *Options) fill() {

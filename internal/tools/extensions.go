@@ -81,6 +81,7 @@ func scenarioOpts(ctx *session.Context, eng *engine.Engine, n *model.Network, wi
 	opts.Topology = a.Topology()
 	opts.Reorder = a.Ordering()
 	opts.Pool = eng.ScenarioPool(ctx.DiffHash())
+	opts.Metrics = eng.Metrics()
 	if withPTDF {
 		if m, err := a.PTDF(); err == nil {
 			opts.PTDF = m

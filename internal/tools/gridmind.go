@@ -71,6 +71,7 @@ func sharedOpts(ctx *session.Context, eng *engine.Engine, n *model.Network, with
 	opts.Topology = a.Topology()
 	opts.Reorder = a.Ordering()
 	opts.Pool = eng.SweepPool(ctx.DiffHash())
+	opts.Metrics = eng.Metrics()
 	if withPTDF {
 		if m, err := a.PTDF(); err == nil {
 			opts.PTDF = m

@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"gridmind/internal/obs"
 	"gridmind/internal/schema"
 )
 
@@ -48,11 +50,46 @@ type Registry struct {
 	// invocation counters per tool
 	calls            map[string]int
 	validationErrors int
+
+	// obs instruments, pre-registered per tool so Invoke's hot path only
+	// loads handles (nil maps when no registry is bound).
+	met *obs.Registry
+	tm  map[string]*toolMetrics
+}
+
+// toolMetrics are one tool's pre-registered obs handles.
+type toolMetrics struct {
+	invocations *obs.Counter
+	errors      *obs.Counter
+	latency     *obs.Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{tools: map[string]*Tool{}, calls: map[string]int{}}
+}
+
+// Observe binds the registry to an obs registry: every already-registered
+// and future tool gets an invocation counter, error counter, and latency
+// histogram labelled by tool name, observed at the Invoke boundary (which
+// brackets solveWithRecovery for the solver tools).
+func (r *Registry) Observe(met *obs.Registry) *Registry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.met = met
+	r.tm = make(map[string]*toolMetrics, len(r.tools))
+	for name := range r.tools {
+		r.tm[name] = newToolMetrics(met, name)
+	}
+	return r
+}
+
+func newToolMetrics(met *obs.Registry, name string) *toolMetrics {
+	return &toolMetrics{
+		invocations: met.Counter("gridmind_tool_invocations_total", "Tool invocations by tool name.", "tool", name),
+		errors:      met.Counter("gridmind_tool_errors_total", "Tool invocations that returned an error (validation or execution).", "tool", name),
+		latency:     met.Histogram("gridmind_tool_latency_seconds", "Tool execution latency (validate + run + validate).", nil, "tool", name),
+	}
 }
 
 // Register adds a tool. Tools without complete schemas are rejected.
@@ -69,6 +106,9 @@ func (r *Registry) Register(t *Tool) error {
 		return fmt.Errorf("tools: %s already registered", t.Name)
 	}
 	r.tools[t.Name] = t
+	if r.met != nil {
+		r.tm[t.Name] = newToolMetrics(r.met, t.Name)
+	}
 	return nil
 }
 
@@ -108,30 +148,44 @@ func (r *Registry) List() []*Tool {
 // the result. The returned value is generic JSON data (map/slice/scalar)
 // ready for storage in structured context.
 func (r *Registry) Invoke(name string, args map[string]any) (any, error) {
-	t, ok := r.Get(name)
+	r.mu.Lock()
+	t, ok := r.tools[name]
+	tm := r.tm[name]
+	r.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownTool, name)
+	}
+	if tm != nil {
+		start := time.Now()
+		defer func() { tm.latency.ObserveDuration(time.Since(start)) }()
+		tm.invocations.Inc()
 	}
 	if args == nil {
 		args = map[string]any{}
 	}
+	fail := func(err error) (any, error) {
+		if tm != nil {
+			tm.errors.Inc()
+		}
+		return nil, err
+	}
 	norm, err := schema.Normalize(args)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %s: %v", ErrInputSchema, name, err)
+		return fail(fmt.Errorf("%w: %s: %v", ErrInputSchema, name, err))
 	}
 	normMap, _ := norm.(map[string]any)
 	if err := t.Input.Validate(normMap); err != nil {
 		r.countValidationError()
-		return nil, fmt.Errorf("%w: %s: %v", ErrInputSchema, name, err)
+		return fail(fmt.Errorf("%w: %s: %v", ErrInputSchema, name, err))
 	}
 	out, err := t.Fn(normMap)
 	if err != nil {
-		return nil, fmt.Errorf("tools: %s: %w", name, err)
+		return fail(fmt.Errorf("tools: %s: %w", name, err))
 	}
 	validated, err := t.Output.ValidateValue(out)
 	if err != nil {
 		r.countValidationError()
-		return nil, fmt.Errorf("%w: %s: %v", ErrOutputSchema, name, err)
+		return fail(fmt.Errorf("%w: %s: %v", ErrOutputSchema, name, err))
 	}
 	r.mu.Lock()
 	r.calls[name]++

@@ -2,6 +2,8 @@ package gridmind_test
 
 import (
 	"context"
+	"fmt"
+	"net/http/httptest"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -9,6 +11,8 @@ import (
 	"gridmind"
 	"gridmind/internal/cases"
 	"gridmind/internal/contingency"
+	"gridmind/internal/engine"
+	"gridmind/internal/fleet"
 	"gridmind/internal/model"
 	"gridmind/internal/obs"
 	"gridmind/internal/opf"
@@ -23,10 +27,11 @@ import (
 // a full Newton solve, the N-1 branch and generation sweeps, the N-2
 // screening pipeline, the interior-point ACOPF, the SCOPF loop, the
 // session snapshot cache, the multi-session serving path, the N-k
-// cascade sweep and the Monte Carlo reliability loop, each over the
-// paper-scale cases. Regenerate the JSON with:
+// cascade sweep, the Monte Carlo reliability loop and the distributed
+// fleet sweep, each over the paper-scale cases. Regenerate the JSON
+// with:
 //
-//	go test -run '^$' -bench 'BuildYbus|NewtonSolve|N1Sweep|GenSweep|N2Screen|ACOPF|SCOPF|SessionNetwork|ConcurrentAsk|Cascade|MCReliability|RegistryHotPath' -benchmem .
+//	go test -run '^$' -bench 'BuildYbus|NewtonSolve|N1Sweep|GenSweep|N2Screen|ACOPF|SCOPF|SessionNetwork|ConcurrentAsk|Cascade|MCReliability|RegistryHotPath|FleetSweep' -benchmem .
 
 func benchBuildYbus(b *testing.B, caseName string) {
 	n := cases.MustLoad(caseName)
@@ -346,3 +351,49 @@ func BenchmarkRegistryHotPath(b *testing.B) {
 		h.Observe(0.0042)
 	}
 }
+
+// BenchmarkFleetSweepCase57 prices the distributed N-1 sweep end to end:
+// deterministic shard split, HTTP/JSON dispatch to two workers with
+// independent engines, engine-threaded shard solves and the offset-based
+// merge. The workers' engines are warmed by an untimed first sweep, so
+// the delta against BenchmarkN1SweepCase57 reads as pure fleet protocol
+// overhead (serialization + loopback HTTP + merge). Sweep IDs rotate per
+// iteration — a repeated ID would hit the workers' idempotency memo and
+// benchmark the replay path instead of the sweep.
+func BenchmarkFleetSweepCase57(b *testing.B) {
+	urls := make([]string, 2)
+	for i := range urls {
+		w := fleet.NewWorker(fmt.Sprintf("bench-w%d", i), engine.New(), nil, obs.NewRegistry())
+		srv := httptest.NewServer(w.Handler())
+		defer srv.Close()
+		urls[i] = srv.URL
+	}
+	coord, err := fleet.NewCoordinator(fleet.Config{Workers: urls})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New()
+	n, err := eng.Pristine("case57")
+	if err != nil {
+		b.Fatal(err)
+	}
+	branches := n.InServiceBranches()
+	ctx := context.Background()
+	if _, err := coord.SweepN1(ctx, "bench-fleet-warm", "case57", branches, gridmindFleetOpts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rs, err := coord.SweepN1(ctx, fmt.Sprintf("bench-fleet-%d", i), "case57", branches, gridmindFleetOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs.Outages) != len(branches) {
+			b.Fatal("short sweep")
+		}
+	}
+}
+
+// gridmindFleetOpts mirrors the scenario CI smoke configuration.
+var gridmindFleetOpts = fleet.SweepOptions{DCScreen: true}

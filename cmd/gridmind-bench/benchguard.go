@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"strings"
 	"sync"
@@ -14,6 +15,8 @@ import (
 	"gridmind"
 	"gridmind/internal/cases"
 	"gridmind/internal/contingency"
+	"gridmind/internal/engine"
+	"gridmind/internal/fleet"
 	"gridmind/internal/model"
 	"gridmind/internal/obs"
 	"gridmind/internal/opf"
@@ -336,6 +339,51 @@ func runBenchGuard(baselinePath, outPath, caseName string, tol float64) error {
 					for i := 0; i < b.N; i++ {
 						if _, err := scopf.Solve(n, scopf.Options{Screen: true, MaxRounds: 2, Workers: 1}); err != nil {
 							b.Fatal(err)
+						}
+					}
+				}
+			}(),
+		},
+		{
+			// The distributed N-1 sweep on two loopback workers: shard
+			// split, HTTP/JSON dispatch, engine-threaded shard solves,
+			// offset-based merge. Worker engines warm before timing, so a
+			// regression here is fleet protocol overhead (serialization,
+			// dispatch, merge) — the solver arms are guarded separately.
+			// Sweep IDs rotate per iteration; a repeated ID would measure
+			// the workers' idempotency replay instead of the sweep.
+			name: "BenchmarkFleetSweepCase57",
+			run: func() func(b *testing.B) {
+				urls := make([]string, 2)
+				for i := range urls {
+					w := fleet.NewWorker(fmt.Sprintf("guard-w%d", i), engine.New(), nil, obs.NewRegistry())
+					urls[i] = httptest.NewServer(w.Handler()).URL
+				}
+				coord, cerr := fleet.NewCoordinator(fleet.Config{Workers: urls})
+				branches := cases.MustLoad("case57").InServiceBranches()
+				var sweepSeq atomic.Int64
+				ctx := context.Background()
+				warmed := false
+				return func(b *testing.B) {
+					if cerr != nil {
+						b.Fatal(cerr)
+					}
+					if !warmed {
+						warmed = true
+						if _, err := coord.SweepN1(ctx, "guard-fleet-warm", "case57", branches, fleet.SweepOptions{DCScreen: true}); err != nil {
+							b.Fatal(err)
+						}
+						b.ResetTimer()
+					}
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						id := fmt.Sprintf("guard-fleet-%d", sweepSeq.Add(1))
+						rs, err := coord.SweepN1(ctx, id, "case57", branches, fleet.SweepOptions{DCScreen: true})
+						if err != nil {
+							b.Fatal(err)
+						}
+						if len(rs.Outages) != len(branches) {
+							b.Fatal("short sweep")
 						}
 					}
 				}

@@ -33,7 +33,7 @@ import (
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"which experiment: fig3-success, fig3-dist, fig3-scaling, table1, table2, reliability, all")
+		"which experiment: fig3-success, fig3-dist, fig3-scaling, table1, table2, reliability, all; fleet-scaling and fleet-compare run only when named explicitly")
 	runs := flag.Int("runs", 5, "runs per (model, case) cell")
 	caseName := flag.String("case", "case118", "fixed case for fig3-success/fig3-dist/table1")
 	models := flag.String("models", "", "comma-separated model subset (default: all six)")
@@ -41,6 +41,10 @@ func main() {
 	guardCase := flag.String("benchguard-case", "case57", "case for the -benchguard N-1 sweep benchmark (the ACOPF/SCOPF cases are fixed by their baselines)")
 	guardTol := flag.Float64("benchguard-tolerance", 0.30, "allowed fractional ns/op regression before -benchguard fails")
 	guardOut := flag.String("benchguard-out", "", "path to write the fresh -benchguard measurements as JSON (CI uploads it as an artifact)")
+	fleetWorkers := flag.String("workers", "", "comma-separated worker base URLs for -experiment fleet-compare (real `gridmind-server -worker` processes)")
+	fleetSizes := flag.String("fleet-sizes", "1,2,4", "comma-separated worker counts for -experiment fleet-scaling")
+	fleetCases := flag.String("fleet-cases", "case300,case3000", "comma-separated cases for -experiment fleet-scaling")
+	artifactDir := flag.String("artifact-dir", "", "persistent artifact store mounted on fleet-scaling workers (empty = every worker compiles cold)")
 	flag.Parse()
 
 	if *guard != "" {
@@ -56,6 +60,47 @@ func main() {
 		cfg.Models = strings.Split(*models, ",")
 	}
 	ctx := context.Background()
+
+	// The fleet experiments never ride along with "all": fleet-scaling
+	// sweeps case3000 (minutes of solves) and fleet-compare needs external
+	// worker processes, so both run only when explicitly named.
+	switch *exp {
+	case "fleet-scaling":
+		fcfg := experiments.FleetConfig{ArtifactDir: *artifactDir}
+		for _, c := range strings.Split(*fleetCases, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				fcfg.Cases = append(fcfg.Cases, c)
+			}
+		}
+		for _, s := range strings.Split(*fleetSizes, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "fleet-scaling: bad -fleet-sizes entry %q\n", s)
+				os.Exit(2)
+			}
+			fcfg.WorkerCounts = append(fcfg.WorkerCounts, n)
+		}
+		pts, err := experiments.FleetScaling(ctx, fcfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleet-scaling: %v\n", err)
+			os.Exit(1)
+		}
+		experiments.FormatFleet(os.Stdout, pts)
+		return
+	case "fleet-compare":
+		if *fleetWorkers == "" {
+			fmt.Fprintln(os.Stderr, "fleet-compare: -workers is required (comma-separated worker URLs)")
+			os.Exit(2)
+		}
+		res, err := experiments.FleetCompare(ctx, strings.Split(*fleetWorkers, ","), *caseName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleet-compare: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("fleet-compare: %s on %d workers: %d outages (%d screened) in %.2fs, exact match with single-process sweep\n",
+			res.Case, res.Workers, res.Outages, res.Screened, res.Seconds)
+		return
+	}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {

@@ -53,6 +53,10 @@ func main() {
 		`comma-separated LLM deployments "name=model-or-URL[@weight]"; when set, all sessions ride one resilient gateway (e.g. "primary=https://host/v1/chat/completions@3,backup=gpt-5-mini")`)
 	gatewayStrategy := flag.String("gateway-strategy", "priority", "gateway routing: priority, round-robin, least-latency or weighted")
 	gatewayHealth := flag.Duration("gateway-health", 30*time.Second, "gateway background health-probe interval (0 disables)")
+	workerMode := flag.Bool("worker", false, "serve as a contingency-fleet worker (POST /shard, GET /healthz, GET /metrics) instead of the session server")
+	workerID := flag.String("worker-id", "", "worker name reported in shard responses (default: the listen address)")
+	artifactDir := flag.String("artifact-dir", "", "persistent compiled-artifact store directory; a worker warms each case from it (skipping Ybus/topology/PTDF/ordering compiles) and persists cold compiles back (empty disables)")
+	workerKillAfter := flag.Int("worker-kill-after", 0, "TEST HOOK: exit the worker process before answering shard request N+1, simulating mid-sweep death (0 disables)")
 	flag.Parse()
 	if err := gridmind.ValidateModel(*modelName); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -63,6 +67,11 @@ func main() {
 	// surface the gateway, manager and every session publish on.
 	eng := gridmind.NewEngine()
 	met := eng.Metrics()
+
+	if *workerMode {
+		runWorker(*addr, *workerID, *artifactDir, *workerKillAfter, eng, met)
+		return
+	}
 
 	var gw *gridmind.Gateway
 	if *gatewaySpec != "" {

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"gridmind"
+	"gridmind/internal/engine"
+	"gridmind/internal/fleet"
+)
+
+// runWorker serves the fleet worker surface: POST /shard executes (or
+// idempotently replays) one sweep shard, GET /healthz answers probes,
+// GET /metrics exposes the engine + worker registry in Prometheus text
+// format. It blocks until the process is signalled.
+func runWorker(addr, id, artifactDir string, killAfter int, eng *gridmind.Engine, met *gridmind.MetricsRegistry) {
+	if id == "" {
+		id = addr
+	}
+	var store *engine.Store
+	if artifactDir != "" {
+		var err error
+		if store, err = engine.NewStore(artifactDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           workerRoutes(id, killAfter, eng, store, met),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("gridmind-server worker %s listening on %s (artifact store %q)", id, addr, artifactDir)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Printf("gridmind-server worker: shutdown signal received, draining")
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer shutCancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("gridmind-server worker: forced shutdown: %v", err)
+		}
+	}
+}
+
+// workerRoutes builds the worker-mode HTTP surface.
+func workerRoutes(id string, killAfter int, eng *gridmind.Engine, store *engine.Store, met *gridmind.MetricsRegistry) http.Handler {
+	w := fleet.NewWorker(id, eng, store, met)
+	mux := http.NewServeMux()
+	mux.Handle("/", killAfterN(killAfter, w.Handler()))
+	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		met.WritePrometheus(rw)
+	})
+	return mux
+}
+
+// killAfterN is the deterministic death hook behind -worker-kill-after:
+// after n shard requests have been admitted, the process exits cold —
+// before writing any response — so the coordinator observes a dropped
+// connection exactly as it would from a crashed worker. CI uses it to
+// prove a sweep survives losing a worker mid-run.
+func killAfterN(n int, next http.Handler) http.Handler {
+	if n <= 0 {
+		return next
+	}
+	var admitted int64
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/shard" {
+			if atomic.AddInt64(&admitted, 1) > int64(n) {
+				log.Printf("gridmind-server worker: -worker-kill-after %d reached, dying", n)
+				os.Exit(1)
+			}
+		}
+		next.ServeHTTP(rw, r)
+	})
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gridmind"
+	"gridmind/internal/fleet"
+)
+
+// TestWorkerModeSurface drives the worker-mode routes end to end: health
+// probe, a sharded sweep through a real coordinator, and the Prometheus
+// exposition carrying both engine and fleet-worker families.
+func TestWorkerModeSurface(t *testing.T) {
+	eng := gridmind.NewEngine()
+	srv := httptest.NewServer(workerRoutes("w-test", 0, eng, nil, eng.Metrics()))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+
+	coord, err := fleet.NewCoordinator(fleet.Config{Workers: []string{srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := eng.Pristine("case30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := coord.SweepN1(context.Background(), "worker-mode-smoke", "case30", n.InServiceBranches(), fleet.SweepOptions{DCScreen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Outages) != len(n.InServiceBranches()) {
+		t.Fatalf("sweep returned %d outages, want %d", len(rs.Outages), len(n.InServiceBranches()))
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	buf := make([]byte, 1<<20)
+	nb, _ := mresp.Body.Read(buf)
+	body := string(buf[:nb])
+	for _, family := range []string{"gridmind_fleet_worker_shards_total", "gridmind_engine_artifact_store_loads_total"} {
+		if !strings.Contains(body, family) {
+			t.Fatalf("/metrics missing family %s", family)
+		}
+	}
+}
+
+// TestKillAfterNPassthrough checks the death hook is inert below its
+// threshold and for non-shard traffic (the exit path itself is exercised
+// by the CI fleet-smoke job, where a real process dies mid-sweep).
+func TestKillAfterNPassthrough(t *testing.T) {
+	var hits int
+	inner := http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) { hits++ })
+	h := killAfterN(3, inner)
+	for i := 0; i < 3; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/shard", nil)
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}
+	// Health and metrics probes never count against the budget.
+	for i := 0; i < 5; i++ {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	}
+	if hits != 8 {
+		t.Fatalf("handler saw %d requests, want 8", hits)
+	}
+	// Disabled hook passes traffic straight through.
+	h0 := killAfterN(0, inner)
+	for i := 0; i < 4; i++ {
+		h0.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/shard", nil))
+	}
+	if hits != 12 {
+		t.Fatalf("handler saw %d requests, want 12", hits)
+	}
+}

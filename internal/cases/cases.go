@@ -38,6 +38,10 @@ func Load(name string) (*model.Network, error) {
 		return Synthetic(118)
 	case "case300":
 		return Synthetic(300)
+	case "case3000":
+		// Fleet-scale synthetic case; deliberately absent from Names() so
+		// the paper's Table 2 inventory stays the five IEEE cases.
+		return Synthetic(3000)
 	default:
 		return nil, fmt.Errorf("cases: unknown case %q (supported: %v)", name, Names())
 	}
@@ -63,6 +67,8 @@ func Canonical(name string) string {
 		return "case118"
 	case "300":
 		return "case300"
+	case "3000":
+		return "case3000"
 	}
 	return ""
 }

@@ -47,7 +47,22 @@ var (
 //     real IEEE cases do.
 //
 // Repeated calls return fresh clones of the cached network.
+//
+// case3000 is built differently: growing a solvable random 3000-bus grid
+// is fragile (voltage pockets far from PV support defeat the de-stress
+// remedies), so it is stitched from ten solved case300 regions joined by
+// tie lines — the construction the large European benchmark cases use —
+// and re-solved once from the regional operating points. See stitch3000.
 func Synthetic(buses int) (*model.Network, error) {
+	if buses == 3000 {
+		// Resolve the region case before taking synthMu: Synthetic(300)
+		// takes the same lock.
+		region, err := Synthetic(300)
+		if err != nil {
+			return nil, err
+		}
+		return synthCached(3000, func() (*model.Network, error) { return stitch3000(region) })
+	}
 	spec, ok := synthSpecs[buses]
 	if !ok {
 		return nil, fmt.Errorf("cases: no synthetic spec for %d buses", buses)
@@ -317,4 +332,133 @@ func finishSynthetic(n *model.Network, spec synthSpec, rng *rand.Rand) error {
 		}
 	}
 	return n.Validate()
+}
+
+// synthCached serves buses from the cache, building with fn on first use.
+func synthCached(buses int, fn func() (*model.Network, error)) (*model.Network, error) {
+	synthMu.Lock()
+	defer synthMu.Unlock()
+	if n, ok := synthCache[buses]; ok {
+		return n.Clone(), nil
+	}
+	n, err := fn()
+	if err != nil {
+		return nil, err
+	}
+	synthCache[buses] = n
+	return n.Clone(), nil
+}
+
+// stitch3000 assembles the fleet-scale case: ten copies of the solved
+// case300 region tied into a ring interconnection (three tie lines per
+// adjacent pair, so no single tie outage islands a region), the nine
+// surplus slack machines demoted to PV, and one warm-start AC solve from
+// the regional operating points to settle the interconnected state. The
+// result is deterministic — same regions, same seeded tie choices — and
+// inherits each region's base-case voltage quality.
+func stitch3000(region *model.Network) (*model.Network, error) {
+	const copies = 10
+	nb := len(region.Buses)
+	n := &model.Network{Name: "case3000", BaseMVA: region.BaseMVA}
+	for k := 0; k < copies; k++ {
+		off := k * nb
+		for i, b := range region.Buses {
+			b.ID = off + i + 1
+			if k > 0 && b.Type == model.Slack {
+				// One slack for the interconnection; surplus slack
+				// machines regulate as PV at their solved setpoints.
+				b.Type = model.PV
+			}
+			n.Buses = append(n.Buses, b)
+		}
+		for _, br := range region.Branches {
+			br.From += off
+			br.To += off
+			n.Branches = append(n.Branches, br)
+		}
+		for _, l := range region.Loads {
+			l.Bus += off
+			n.Loads = append(n.Loads, l)
+		}
+		for _, g := range region.Gens {
+			g.Bus += off
+			n.Gens = append(n.Gens, g)
+		}
+	}
+
+	// Ring ties: region k ↔ region (k+1) mod copies, three per pair at
+	// seeded bus picks (distinct endpoints within a pair, avoiding the
+	// slack bus so its angle reference stays clean).
+	rng := rand.New(rand.NewSource(13000))
+	for k := 0; k < copies; k++ {
+		next := (k + 1) % copies
+		used := map[int]bool{0: true}
+		for t := 0; t < 3; t++ {
+			var a, b int
+			for {
+				a = rng.Intn(nb)
+				if !used[a] {
+					used[a] = true
+					break
+				}
+			}
+			for {
+				b = rng.Intn(nb)
+				if b != 0 {
+					break
+				}
+			}
+			x := 0.01 + 0.01*rng.Float64()
+			n.Branches = append(n.Branches, model.Branch{
+				From: k*nb + a, To: next*nb + b,
+				R: 0.1 * x, X: x, B: 0.2 * x,
+				InService: true,
+			})
+		}
+	}
+
+	// Settle the interconnection from the regional operating points (the
+	// stored bus profile warm-starts the solve). The nine demoted slacks
+	// now hold their scheduled dispatch, so the global slack absorbs the
+	// regions' former slack surpluses; ranges are re-widened below.
+	res, err := powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
+	if err != nil {
+		return nil, fmt.Errorf("cases: case3000 interconnection solve: %w", err)
+	}
+	if res.MinVm <= 0.94 || res.MaxVm >= 1.08 {
+		return nil, fmt.Errorf("cases: case3000 voltage profile [%.3f, %.3f] outside (0.94, 1.08)", res.MinVm, res.MaxVm)
+	}
+
+	for i := range n.Buses {
+		n.Buses[i].Vm = res.Voltages.Vm[i]
+		n.Buses[i].Va = res.Voltages.Va[i]
+	}
+	for g := range n.Gens {
+		n.Gens[g].VSetpoint = res.Voltages.Vm[n.Gens[g].Bus]
+		q := res.GenQ[g]
+		if q > n.Gens[g].QMax-5 {
+			n.Gens[g].QMax = q + 10
+		}
+		if q < n.Gens[g].QMin+5 {
+			n.Gens[g].QMin = q - 10
+		}
+		p := res.GenP[g]
+		if p > n.Gens[g].PMax-1 {
+			n.Gens[g].PMax = p + 0.2*math.Abs(p) + 5
+		}
+		if p < n.Gens[g].PMin {
+			n.Gens[g].PMin = math.Min(0, p)
+		}
+	}
+	// Tie-line ratings from the settled flows; regional branches keep the
+	// ratings their region shipped with.
+	for k := copies * len(region.Branches); k < len(n.Branches); k++ {
+		f := res.Flows[k]
+		mva := math.Max(f.MVAFrom(), f.MVATo())
+		n.Branches[k].RateMVA = math.Max(math.Ceil(2*mva), 50)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("cases: case3000: %w", err)
+	}
+	return n, nil
 }

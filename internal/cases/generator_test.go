@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"gridmind/internal/model"
 	"gridmind/internal/powerflow"
 )
 
@@ -59,6 +60,49 @@ func TestSyntheticMeshedTopology(t *testing.T) {
 		if maxDeg > len(n.Buses)/2 {
 			t.Errorf("%s: hub bus with degree %d", name, maxDeg)
 		}
+	}
+}
+
+func TestCase3000Stitched(t *testing.T) {
+	// The fleet-scale case: ten case300 regions tied into a ring. It is
+	// loadable by name and canonical alias but deliberately absent from
+	// the Table 2 inventory.
+	n, err := Load("case3000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Buses) != 3000 {
+		t.Fatalf("case3000 has %d buses", len(n.Buses))
+	}
+	if got := Canonical("ieee 3000"); got != "case3000" {
+		t.Fatalf("Canonical(\"ieee 3000\") = %q", got)
+	}
+	for _, name := range Names() {
+		if name == "case3000" {
+			t.Fatal("case3000 leaked into the Table 2 inventory")
+		}
+	}
+	// Exactly one slack: the copies' references were demoted to PV.
+	slacks := 0
+	for _, b := range n.Buses {
+		if b.Type == model.Slack {
+			slacks++
+		}
+	}
+	if slacks != 1 {
+		t.Fatalf("case3000 has %d slack buses", slacks)
+	}
+	// The shipped operating point is solved: warm start converges in a
+	// handful of iterations inside the generator's voltage window.
+	res, err := powerflow.Solve(n, powerflow.Options{EnforceQLimits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MinVm <= 0.94 || res.MaxVm >= 1.08 {
+		t.Fatalf("case3000 voltage envelope [%.4f, %.4f] outside window", res.MinVm, res.MaxVm)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }
 

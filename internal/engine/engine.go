@@ -65,6 +65,10 @@ type engineStats struct {
 	sweepPoolHits, sweepPoolNew  *obs.Counter
 	scnPoolHits, scnPoolNew      *obs.Counter
 	basePFHits, basePFSolves     *obs.Counter
+
+	storeHits, storeMisses *obs.Counter
+	storeErrors            *obs.Counter
+	storeSaves             *obs.Counter
 }
 
 func newEngineStats(met *obs.Registry) engineStats {
@@ -87,6 +91,10 @@ func newEngineStats(met *obs.Registry) engineStats {
 		scnPoolNew:     lookup("gridmind_engine_scenario_pool_lookups_total", "", "new"),
 		basePFHits:     lookup("gridmind_engine_base_pf_total", "Base power-flow requests by result (hit = memoized, solve = computed).", "hit"),
 		basePFSolves:   lookup("gridmind_engine_base_pf_total", "", "solve"),
+		storeHits:      lookup("gridmind_engine_artifact_store_loads_total", "Persistent artifact-store loads by result (hit = warmed from disk, miss = no entry, error = corrupt/version-skewed entry).", "hit"),
+		storeMisses:    lookup("gridmind_engine_artifact_store_loads_total", "", "miss"),
+		storeErrors:    lookup("gridmind_engine_artifact_store_loads_total", "", "error"),
+		storeSaves:     met.Counter("gridmind_engine_artifact_store_saves_total", "Structural artifact sets persisted to the store."),
 	}
 }
 
@@ -113,6 +121,11 @@ type Stats struct {
 	// BasePFHits/BasePFSolves count base power flows served from the
 	// state-keyed memo vs. actually solved.
 	BasePFHits, BasePFSolves int64
+	// StoreHits/StoreMisses/StoreErrors count persistent artifact-store
+	// loads by outcome; StoreSaves counts artifact sets persisted. A
+	// store-warmed worker shows one StoreHit and zero Ybus/Topo/PTDF
+	// builds for the warmed structure.
+	StoreHits, StoreMisses, StoreErrors, StoreSaves int64
 }
 
 // New returns an empty engine publishing its counters on a fresh private
@@ -171,6 +184,10 @@ func (e *Engine) Stats() Stats {
 		ScenarioPoolNew:  e.stats.scnPoolNew.Value(),
 		BasePFHits:       e.stats.basePFHits.Value(),
 		BasePFSolves:     e.stats.basePFSolves.Value(),
+		StoreHits:        e.stats.storeHits.Value(),
+		StoreMisses:      e.stats.storeMisses.Value(),
+		StoreErrors:      e.stats.storeErrors.Value(),
+		StoreSaves:       e.stats.storeSaves.Value(),
 	}
 }
 

@@ -90,3 +90,14 @@ func FormatTable2(w io.Writer, rows []model.Summary) {
 			r.Name, r.Buses, r.Gens, r.Loads, r.ACLines, r.Transformers)
 	}
 }
+
+// FormatFleet renders the fleet scaling curve.
+func FormatFleet(w io.Writer, pts []FleetPoint) {
+	fmt.Fprintln(w, "Fleet scaling — sharded N-1 sweep wall clock vs worker count")
+	fmt.Fprintf(w, "%-10s %8s %8s %9s %10s %10s %8s %6s\n",
+		"Case", "Workers", "Outages", "Screened", "Fleet s", "Single s", "Speedup", "Exact")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-10s %8d %8d %9d %10.3f %10.3f %7.2fx %6v\n",
+			p.Case, p.Workers, p.Outages, p.Screened, p.Seconds, p.SingleSeconds, p.Speedup, p.Exact)
+	}
+}

@@ -1,5 +1,7 @@
 package model
 
+import "fmt"
+
 // OutageView is a lightweight what-if overlay on an immutable shared base
 // Network: a branch/generator outage mask plus an optional generator
 // redispatch, instead of a deep clone per scenario. The N-1 sweep keeps one
@@ -212,6 +214,47 @@ func NewTopology(n *Network) *Topology {
 		next[b.To]++
 	}
 	return t
+}
+
+// TopologyData is the persistable form of a Topology: the raw CSR
+// adjacency arrays, exported so a prebuilt topology can be written to the
+// engine's compiled-artifact store and rehydrated without a rebuild. The
+// arrays are shared with the Topology they came from — treat them as
+// immutable, exactly like the Topology itself.
+type TopologyData struct {
+	N   int
+	Ptr []int
+	Bus []int
+	Br  []int
+}
+
+// Export returns the persistable form of the topology.
+func (t *Topology) Export() TopologyData {
+	return TopologyData{N: t.N, Ptr: t.ptr, Bus: t.bus, Br: t.br}
+}
+
+// TopologyFromData rehydrates a Topology from its persisted form,
+// validating the CSR invariants so a corrupt or truncated artifact file
+// fails the load instead of producing a topology that misclassifies
+// islanding.
+func TopologyFromData(d TopologyData) (*Topology, error) {
+	if d.N < 0 || len(d.Ptr) != d.N+1 {
+		return nil, fmt.Errorf("model: topology data: ptr length %d for %d buses", len(d.Ptr), d.N)
+	}
+	if d.Ptr[0] != 0 || d.Ptr[d.N] != len(d.Bus) || len(d.Bus) != len(d.Br) {
+		return nil, fmt.Errorf("model: topology data: inconsistent CSR extents")
+	}
+	for i := 0; i < d.N; i++ {
+		if d.Ptr[i+1] < d.Ptr[i] {
+			return nil, fmt.Errorf("model: topology data: non-monotonic row pointers at bus %d", i)
+		}
+	}
+	for p, b := range d.Bus {
+		if b < 0 || b >= d.N || d.Br[p] < 0 {
+			return nil, fmt.Errorf("model: topology data: out-of-range adjacency entry %d", p)
+		}
+	}
+	return &Topology{N: d.N, ptr: d.Ptr, bus: d.Bus, br: d.Br}, nil
 }
 
 // Islands labels buses by connected component with branch skip removed

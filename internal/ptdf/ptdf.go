@@ -200,6 +200,55 @@ func Build(n *model.Network) (*Matrix, error) {
 	return m, nil
 }
 
+// MatrixData is the persistable form of a Matrix: the dense PTDF rows and
+// the branch snapshot captured at Build. The lazy LODF memo is NOT part of
+// it — columns rehydrate empty and recompute on first touch (each is an
+// O(nbr) combination of PTDF rows), so persisting the memo would trade a
+// cheap recompute for an O(nbr²) file.
+type MatrixData struct {
+	PTDF     [][]float64
+	NB, NBr  int
+	Slack    int
+	From, To []int
+	Valid    []bool
+}
+
+// Export returns the persistable form of the matrix. The slices are shared
+// with the Matrix — treat them as immutable, like the Matrix itself.
+func (m *Matrix) Export() MatrixData {
+	return MatrixData{
+		PTDF: m.PTDF, NB: m.nb, NBr: m.nbr, Slack: m.slack,
+		From: m.from, To: m.to, Valid: m.valid,
+	}
+}
+
+// FromData rehydrates a Matrix from its persisted form with a fresh lazy
+// LODF memo, validating dimensions so a corrupt or truncated artifact file
+// fails the load instead of producing out-of-range factor lookups.
+func FromData(d MatrixData) (*Matrix, error) {
+	if d.NB <= 0 || d.NBr < 0 || d.Slack < 0 || d.Slack >= d.NB {
+		return nil, fmt.Errorf("ptdf: matrix data: bad dimensions nb=%d nbr=%d slack=%d", d.NB, d.NBr, d.Slack)
+	}
+	if len(d.PTDF) != d.NBr || len(d.From) != d.NBr || len(d.To) != d.NBr || len(d.Valid) != d.NBr {
+		return nil, fmt.Errorf("ptdf: matrix data: inconsistent branch extents")
+	}
+	for k, row := range d.PTDF {
+		if len(row) != d.NB {
+			return nil, fmt.Errorf("ptdf: matrix data: row %d has %d entries for %d buses", k, len(row), d.NB)
+		}
+		if d.From[k] < 0 || d.From[k] >= d.NB || d.To[k] < 0 || d.To[k] >= d.NB {
+			return nil, fmt.Errorf("ptdf: matrix data: branch %d endpoints out of range", k)
+		}
+	}
+	return &Matrix{
+		PTDF: d.PTDF, nb: d.NB, nbr: d.NBr, slack: d.Slack,
+		from: d.From, to: d.To, valid: d.Valid,
+		lodfOnce: make([]sync.Once, d.NBr),
+		lodfCols: make([][]float64, d.NBr),
+		lodfIsl:  make([]bool, d.NBr),
+	}, nil
+}
+
 // LODFCol returns column mm of the LODF matrix: LODFCol(mm)[k] is the
 // fraction of branch mm's pre-outage flow that appears on branch k when mm
 // is tripped, with the conventional −1 at k == mm and zeros on invalid

@@ -150,6 +150,7 @@ func BenchmarkACOPFCase14(b *testing.B)  { benchACOPF(b, "case14") }
 func BenchmarkACOPFCase30(b *testing.B)  { benchACOPF(b, "case30") }
 func BenchmarkACOPFCase57(b *testing.B)  { benchACOPF(b, "case57") }
 func BenchmarkACOPFCase118(b *testing.B) { benchACOPF(b, "case118") }
+func BenchmarkACOPFCase300(b *testing.B) { benchACOPF(b, "case300") }
 
 // benchSession builds a case57 session carrying a typical what-if diff
 // log (the serving-path state reconstruction workload).

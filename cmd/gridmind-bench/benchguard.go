@@ -167,6 +167,7 @@ func runBenchGuard(baselinePath, outPath, caseName string, tol float64) error {
 		},
 		{name: "BenchmarkACOPFCase57", run: benchGuardACOPF(cases.MustLoad("case57"))},
 		{name: "BenchmarkACOPFCase118", run: benchGuardACOPF(cases.MustLoad("case118"))},
+		{name: "BenchmarkACOPFCase300", run: benchGuardACOPF(cases.MustLoad("case300"))},
 		{
 			// The session snapshot-cache hit path: every tool call's state
 			// access. A reintroduced per-call clone+replay shows up as 5

@@ -154,6 +154,29 @@ func (y *Ybus) BranchFlow(n *Network, k int, v []complex128) (sf, st complex128)
 	return vf * cmplx.Conj(ifr) * base, vt * cmplx.Conj(ito) * base
 }
 
+// BranchFlowsInto is the batched form of BranchFlow: one pass over the
+// branch list fills sf and st (both length len(n.Branches)) with the
+// complex power in MVA entering each branch at its from and to ends.
+// Out-of-service branches get zeros, matching BranchFlow exactly — the
+// per-branch arithmetic is identical, so batched and scalar results are
+// bitwise equal. Sweep tails and result assembly use this with
+// caller-owned scratch so per-outage flow evaluation allocates nothing.
+func (y *Ybus) BranchFlowsInto(n *Network, v []complex128, sf, st []complex128) {
+	base := complex(n.BaseMVA, 0)
+	for k := range n.Branches {
+		br := &n.Branches[k]
+		if !br.InService {
+			sf[k], st[k] = 0, 0
+			continue
+		}
+		vf, vt := v[br.From], v[br.To]
+		ifr := y.Yff[k]*vf + y.Yft[k]*vt
+		ito := y.Ytf[k]*vf + y.Ytt[k]*vt
+		sf[k] = vf * cmplx.Conj(ifr) * base
+		st[k] = vt * cmplx.Conj(ito) * base
+	}
+}
+
 // Injections returns the complex nodal power injections S = V ∘ conj(Y·V)
 // in per-unit for the bus voltage vector v.
 func (y *Ybus) Injections(v []complex128) []complex128 {

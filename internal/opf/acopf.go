@@ -29,6 +29,10 @@ type acopf struct {
 	// bound rows: variable index with lower/upper values.
 	bounds []boundRow
 	slack  int
+	// es is the reusable evaluation scratch: eval is a pure value-refill
+	// into it (see evalscratch.go). Installed by SolveACOPF — from the
+	// Context cache when one is supplied, fresh otherwise.
+	es *evalScratch
 }
 
 type boundRow struct {
@@ -138,20 +142,25 @@ func clampInterior(v, lo, hi float64) float64 {
 	return v
 }
 
-// eval computes objective, constraints and Jacobians at x.
+// eval computes objective, constraints and Jacobians at x — as a pure
+// value-refill of the problem's evalScratch: every row pattern (columns
+// and their order, laid out by newEvalScratch) is fixed, only values are
+// overwritten. At steady state the call allocates nothing.
 func (a *acopf) eval(x []float64) *nlpEval {
 	nb, base := a.nb, a.base
 	va := x[:nb]
 	vm := x[nb : 2*nb]
-	ev := &nlpEval{
-		Grad: make([]float64, a.nx()),
-		G:    make([]float64, a.ngEq()),
-		DG:   make([][]jentry, a.ngEq()),
-		H:    make([]float64, 0, a.nIneq()),
-		DH:   make([][]jentry, 0, a.nIneq()),
+	if a.es == nil {
+		a.es = newEvalScratch(a)
 	}
+	es := a.es
+	ev := &es.ev
+	es.accumulateLoads(a)
 
-	// Objective: generation cost in $/h over MW dispatch.
+	// Objective: generation cost in $/h over MW dispatch. Grad is only
+	// ever nonzero at Pg positions; every other entry was zeroed at
+	// layout time and is never written.
+	ev.F = 0
 	for p, gi := range a.gens {
 		g := a.net.Gens[gi]
 		pmw := x[a.ixPg(p)] * base
@@ -159,14 +168,20 @@ func (a *acopf) eval(x []float64) *nlpEval {
 		ev.Grad[a.ixPg(p)] = g.Cost.Marginal(pmw) * base
 	}
 
-	// Nodal balance: g_P[i] = P_i(V) − ΣPg + Pd ; g_Q analogous.
+	// Nodal balance: g_P[i] = P_i(V) − ΣPg + Pd ; g_Q analogous. Row
+	// layout: [Va_i, Vm_i, (Va_k, Vm_k) per neighbor, then unit entries
+	// whose −1 values are constant].
 	for i := 0; i < nb; i++ {
 		yii := a.y.Diag(i)
 		gii, bii := real(yii), imag(yii)
 		pi := gii * vm[i] * vm[i]
 		qi := -bii * vm[i] * vm[i]
-		rowP := []jentry{{a.ixVa(i), 0}, {a.ixVm(i), 2 * gii * vm[i]}}
-		rowQ := []jentry{{a.ixVa(i), 0}, {a.ixVm(i), -2 * bii * vm[i]}}
+		rowP := ev.DG[i]
+		rowQ := ev.DG[nb+i]
+		rowP[0].val = 0
+		rowP[1].val = 2 * gii * vm[i]
+		rowQ[0].val = 0
+		rowQ[1].val = -2 * bii * vm[i]
 		for t, k := range a.nbrs[i] {
 			yik := a.nbrv[i][t]
 			gik, bik := real(yik), imag(yik)
@@ -176,41 +191,34 @@ func (a *acopf) eval(x []float64) *nlpEval {
 			qi += tq.Val
 			rowP[0].val += tp.Grad[0]
 			rowP[1].val += tp.Grad[2]
-			rowP = append(rowP, jentry{a.ixVa(k), tp.Grad[1]}, jentry{a.ixVm(k), tp.Grad[3]})
+			rowP[2+2*t].val = tp.Grad[1]
+			rowP[3+2*t].val = tp.Grad[3]
 			rowQ[0].val += tq.Grad[0]
 			rowQ[1].val += tq.Grad[2]
-			rowQ = append(rowQ, jentry{a.ixVa(k), tq.Grad[1]}, jentry{a.ixVm(k), tq.Grad[3]})
+			rowQ[2+2*t].val = tq.Grad[1]
+			rowQ[3+2*t].val = tq.Grad[3]
 		}
-		loadP, loadQ := a.net.BusLoad(i)
-		ev.G[i] = pi + loadP/base
-		ev.G[nb+i] = qi + loadQ/base
+		ev.G[i] = pi + es.loadP[i]/base
+		ev.G[nb+i] = qi + es.loadQ[i]/base
 		for _, p := range a.genOf[i] {
 			ev.G[i] -= x[a.ixPg(p)]
 			ev.G[nb+i] -= x[a.ixQg(p)]
-			rowP = append(rowP, jentry{a.ixPg(p), -1})
-			rowQ = append(rowQ, jentry{a.ixQg(p), -1})
 		}
-		ev.DG[i] = rowP
-		ev.DG[nb+i] = rowQ
 	}
-	// Slack angle pin.
+	// Slack angle pin (row pattern and value are both constant).
 	ev.G[2*nb] = va[a.slack] - a.net.Buses[a.slack].Va
-	ev.DG[2*nb] = []jentry{{a.ixVa(a.slack), 1}}
 
 	// Branch MVA limits at both ends: |S|² − rate² ≤ 0 (p.u.).
-	for _, k := range a.rated {
-		hf, rf, ht, rt := a.flowConstraint(k, vm, va)
-		ev.H = append(ev.H, hf, ht)
-		ev.DH = append(ev.DH, rf, rt)
+	for ri, k := range a.rated {
+		ev.H[2*ri], ev.H[2*ri+1] = a.flowConstraintInto(k, vm, va, ev.DH[2*ri], ev.DH[2*ri+1])
 	}
-	// Linear variable bounds.
-	for _, b := range a.bounds {
+	// Linear variable bounds (row values are the constant ∓1).
+	off := 2 * len(a.rated)
+	for bi, b := range a.bounds {
 		if b.isLow {
-			ev.H = append(ev.H, b.val-x[b.v])
-			ev.DH = append(ev.DH, []jentry{{b.v, -1}})
+			ev.H[off+bi] = b.val - x[b.v]
 		} else {
-			ev.H = append(ev.H, x[b.v]-b.val)
-			ev.DH = append(ev.DH, []jentry{{b.v, 1}})
+			ev.H[off+bi] = x[b.v] - b.val
 		}
 	}
 	return ev
@@ -242,9 +250,10 @@ func (a *acopf) endQuantities(bi, bk int, yii, yik complex128, vm, va []float64)
 	return e
 }
 
-// flowConstraint returns h and its Jacobian row for the from and to ends
-// of rated branch k.
-func (a *acopf) flowConstraint(k int, vm, va []float64) (hf float64, rowF []jentry, ht float64, rowT []jentry) {
+// flowConstraintInto computes h for the from and to ends of rated branch
+// k and refills the 4-entry Jacobian rows in place (columns laid out at
+// scratch-compile time as [Va_i, Va_k, Vm_i, Vm_k] per metered end).
+func (a *acopf) flowConstraintInto(k int, vm, va []float64, rowF, rowT []jentry) (hf, ht float64) {
 	br := a.net.Branches[k]
 	rmax := br.RateMVA / a.base
 	r2 := rmax * rmax
@@ -252,18 +261,13 @@ func (a *acopf) flowConstraint(k int, vm, va []float64) (hf float64, rowF []jent
 	from := a.endQuantities(br.From, br.To, a.y.Yff[k], a.y.Yft[k], vm, va)
 	to := a.endQuantities(br.To, br.From, a.y.Ytt[k], a.y.Ytf[k], vm, va)
 
-	mk := func(e branchEnd) (float64, []jentry) {
-		h := e.p*e.p + e.q*e.q - r2
-		cols := [4]int{a.ixVa(e.bi), a.ixVa(e.bk), a.ixVm(e.bi), a.ixVm(e.bk)}
-		row := make([]jentry, 0, 4)
-		for c := 0; c < 4; c++ {
-			row = append(row, jentry{cols[c], 2*e.p*e.gp[c] + 2*e.q*e.gq[c]})
-		}
-		return h, row
+	hf = from.p*from.p + from.q*from.q - r2
+	ht = to.p*to.p + to.q*to.q - r2
+	for c := 0; c < 4; c++ {
+		rowF[c].val = 2*from.p*from.gp[c] + 2*from.q*from.gq[c]
+		rowT[c].val = 2*to.p*to.gp[c] + 2*to.q*to.gq[c]
 	}
-	hf, rowF = mk(from)
-	ht, rowT = mk(to)
-	return hf, rowF, ht, rowT
+	return hf, ht
 }
 
 // hessian emits the Lagrangian Hessian ∇²f + Σλ∇²g + Σμ∇²h.

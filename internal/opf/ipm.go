@@ -41,6 +41,10 @@ type nlp struct {
 	// value-dependent skip would change the pattern between iterations and
 	// corrupt the compiled slot mapping (kkt.go checks the count).
 	hess func(x, lam, mu []float64, emit func(i, j int, v float64))
+	// order, when non-nil, supplies the fill-reducing column pre-order for
+	// the compiled KKT pattern (e.g. acopf's constraint-aware supernode
+	// ordering). Nil falls back to plain minimum degree.
+	order func(m *sparse.CSC) []int
 }
 
 // ipmOptions tunes the primal-dual interior-point solver. Zero values

@@ -71,6 +71,15 @@ type kktSystem struct {
 	lu       *sparse.LU
 	sol      []float64
 	work     []float64
+	// refillFn is the refill emitter, built once at compile time with its
+	// cursor state (refillE/refillDrift) hoisted onto the struct: a
+	// closure literal inside refill would be re-allocated on every
+	// iteration (emit escapes through the indirect p.hess call), which is
+	// exactly the allocation class the steady-state zero-alloc pin bans.
+	refillFn    func(i, j int, v float64)
+	vals        []float64
+	refillE     int
+	refillDrift int
 	// counters for tests and diagnostics
 	compiles, factors, refactors int
 }
@@ -113,10 +122,28 @@ func (k *kktSystem) compile(p *nlp, ev *nlpEval, x, lam, mu, z []float64) {
 		k.emitVal[e] = s
 		val[s] += vals[e]
 	}
-	k.colPerm = sparse.MinDegree(mat)
+	if p.order != nil {
+		k.colPerm = p.order(mat)
+	} else {
+		k.colPerm = sparse.MinDegree(mat)
+	}
 	k.lu = nil
 	k.sol = make([]float64, dim)
 	k.work = make([]float64, dim)
+	k.vals = val
+	k.refillFn = func(i, j int, v float64) {
+		e := k.refillE
+		if e < len(k.emitVal) {
+			if u := k.emitUniq[e]; i != k.ri[u] || j != k.ci[u] {
+				if k.refillDrift < 0 {
+					k.refillDrift = e
+				}
+			} else {
+				k.vals[k.emitVal[e]] += v
+			}
+		}
+		k.refillE = e + 1
+	}
 	k.compiles++
 }
 
@@ -126,31 +153,18 @@ func (k *kktSystem) compile(p *nlp, ev *nlpEval, x, lam, mu, z []float64) {
 // position), so a drifting (value-dependent) emitter fails loudly instead
 // of silently accumulating into the wrong slots.
 func (k *kktSystem) refill(p *nlp, ev *nlpEval, x, lam, mu, z []float64) error {
-	val := k.mat.Values()
+	val := k.vals
 	for i := range val {
 		val[i] = 0
 	}
-	e := 0
-	drift := -1
-	write := func(i, j int, v float64) {
-		if e < len(k.emitVal) {
-			if u := k.emitUniq[e]; i != k.ri[u] || j != k.ci[u] {
-				if drift < 0 {
-					drift = e
-				}
-			} else {
-				val[k.emitVal[e]] += v
-			}
-		}
-		e++
+	k.refillE, k.refillDrift = 0, -1
+	assembleKKT(p, ev, x, lam, mu, z, k.refillFn)
+	if k.refillE != k.nEmit {
+		return fmt.Errorf("opf: KKT emission count drifted: %d entries, compiled pattern has %d", k.refillE, k.nEmit)
 	}
-	assembleKKT(p, ev, x, lam, mu, z, write)
-	if e != k.nEmit {
-		return fmt.Errorf("opf: KKT emission count drifted: %d entries, compiled pattern has %d", e, k.nEmit)
-	}
-	if drift >= 0 {
-		u := k.emitUniq[drift]
-		return fmt.Errorf("opf: KKT emission %d drifted from compiled coordinate (%d,%d): the hess/eval pattern is not structural", drift, k.ri[u], k.ci[u])
+	if k.refillDrift >= 0 {
+		u := k.emitUniq[k.refillDrift]
+		return fmt.Errorf("opf: KKT emission %d drifted from compiled coordinate (%d,%d): the hess/eval pattern is not structural", k.refillDrift, k.ri[u], k.ci[u])
 	}
 	return nil
 }
@@ -183,6 +197,43 @@ func (k *kktSystem) factorAndSolve(rhs []float64) ([]float64, error) {
 		return nil, err
 	}
 	return k.sol, nil
+}
+
+// kktOrder is acopf's constraint-aware KKT column pre-order: quotient-graph
+// minimum degree (sparse.BlockMinDegree) on a condensed pattern built from
+// what the problem knows about its own block structure. Each bus
+// contributes ONE 4-wide supernode holding its (Va, Vm) unknowns together
+// with its (P, Q) balance rows — the four columns couple to exactly the
+// same set of neighbor buses (through incident branches) and generators,
+// so the condensed graph is simply the bus adjacency graph plus generator
+// singletons and the slack-angle pin. Keeping a bus's variables and its
+// balance-row border entries adjacent in the pivot order lets elimination
+// consume each bus's whole 4×4 saddle block at once instead of revisiting
+// the bus twice (once per half), which measurably cuts LU fill versus
+// scalar minimum degree on the full pattern (≈20-30% fewer factor
+// nonzeros on case57-case300).
+//
+// Two designs that sound plausible measure WORSE, so don't resurrect them
+// without re-profiling: eliminating the equality border strictly last
+// (tail=true for balance supernodes) inflates fill 10-50% — the deferred
+// rows' quotient cliques grow monotonically while every variable is
+// eliminated under them; and separating (Va,Vm) pairs from (P,Q) pairs as
+// distinct supernodes doubles the condensed graph for no benefit since
+// the two halves of a bus have identical adjacency.
+//
+// The condensed graph has nb + 2·|gens| + 1 nodes versus ~4.7·nb columns,
+// so the ordering is also cheaper to compute than plain MinDegree.
+func (a *acopf) kktOrder(m *sparse.CSC) []int {
+	nb, ngen, nx := a.nb, len(a.gens), a.nx()
+	super := make([][]int, 0, nb+2*ngen+1)
+	for b := 0; b < nb; b++ {
+		super = append(super, []int{a.ixVa(b), a.ixVm(b), nx + b, nx + nb + b})
+	}
+	for g := 0; g < ngen; g++ {
+		super = append(super, []int{a.ixPg(g)}, []int{a.ixQg(g)})
+	}
+	super = append(super, []int{nx + 2*nb})
+	return sparse.BlockMinDegree(m, super, nil)
 }
 
 // kktSig captures the structural identity of an acopf problem: everything
@@ -267,6 +318,7 @@ func sigMatch(s, t *kktSig) bool {
 type Context struct {
 	sig   *kktSig
 	kkt   *kktSystem
+	es    *evalScratch
 	prior int // compile count of replaced systems
 }
 
@@ -284,11 +336,18 @@ func (c *Context) Compiles() int {
 }
 
 // acquire returns the cached KKT system when prob structurally matches the
-// context's previous problem, or installs a fresh empty one for it.
+// context's previous problem, or installs a fresh empty one for it. The
+// cached evalScratch rides the same signature: a structural match hands
+// prob the previous problem's row layout (values are recomputed on every
+// eval), a miss lays out a fresh one.
 func (c *Context) acquire(prob *acopf) *kktSystem {
 	sig := prob.signature()
 	if c.kkt != nil && sigMatch(c.sig, sig) {
 		c.sig = sig
+		if c.es == nil {
+			c.es = newEvalScratch(prob)
+		}
+		prob.es = c.es
 		return c.kkt
 	}
 	if c.kkt != nil {
@@ -296,5 +355,7 @@ func (c *Context) acquire(prob *acopf) *kktSystem {
 	}
 	c.sig = sig
 	c.kkt = &kktSystem{}
+	c.es = newEvalScratch(prob)
+	prob.es = c.es
 	return c.kkt
 }

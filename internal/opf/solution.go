@@ -83,6 +83,21 @@ func (s *Solution) TotalGenMW() float64 {
 	return t
 }
 
+// foldFlowStats derives the thermal aggregates from the per-branch flow
+// records: the worst loading and the count of branch limits at their
+// binding threshold. Every solver (AC, DC, dispatch fallback) folds its
+// Flows through this one loop so the aggregation rule cannot drift.
+func (s *Solution) foldFlowStats() {
+	for _, f := range s.Flows {
+		if f.LoadingPct > s.MaxThermalLoading {
+			s.MaxThermalLoading = f.LoadingPct
+		}
+		if f.LoadingPct > 99.5 {
+			s.BindingFlowLimits++
+		}
+	}
+}
+
 // SolveACOPF solves the AC optimal power flow with the primal-dual
 // interior-point method. On non-convergence it returns the best iterate's
 // diagnostics in a Solution with Solved=false together with the error.
@@ -95,9 +110,10 @@ func SolveACOPF(n *model.Network, opts Options) (*Solution, error) {
 		nx:   prob.nx(),
 		ng:   prob.ngEq(),
 		nh:   prob.nIneq(),
-		x0:   prob.initialPoint(opts.Start),
-		eval: prob.eval,
-		hess: prob.hessian,
+		x0:    prob.initialPoint(opts.Start),
+		eval:  prob.eval,
+		hess:  prob.hessian,
+		order: prob.kktOrder,
 	}
 	iopts := ipmOptions{
 		FeasTol: opts.FeasTol, GradTol: opts.GradTol,
@@ -106,6 +122,9 @@ func SolveACOPF(n *model.Network, opts Options) (*Solution, error) {
 		reference: opts.ReferenceKKT,
 	}
 	if opts.Context != nil && !opts.ReferenceKKT {
+		// acquire also installs the Context's cached evalScratch (same
+		// structural signature governs both); without a Context, eval
+		// lays out a private one lazily.
 		iopts.kkt = opts.Context.acquire(prob)
 	}
 	res, ipmErr := solveIPM(p, iopts)
@@ -150,31 +169,21 @@ func extractSolution(a *acopf, res *ipmResult) *Solution {
 	}
 
 	v := model.VoltageVector(vm, va)
-	sol.Flows = make([]powerflow.BranchFlow, len(n.Branches))
 	sol.MinVoltagePU, sol.MaxVoltagePU = math.Inf(1), math.Inf(-1)
 	for i := range n.Buses {
 		sol.MinVoltagePU = math.Min(sol.MinVoltagePU, vm[i])
 		sol.MaxVoltagePU = math.Max(sol.MaxVoltagePU, vm[i])
 	}
-	for k, br := range n.Branches {
-		f := powerflow.BranchFlow{Branch: k}
-		if br.InService {
-			sf, st := a.y.BranchFlow(n, k, v)
-			f.FromP, f.FromQ = real(sf), imag(sf)
-			f.ToP, f.ToQ = real(st), imag(st)
-			sol.LossMW += f.FromP + f.ToP
-			if br.RateMVA > 0 {
-				f.LoadingPct = 100 * math.Max(f.MVAFrom(), f.MVATo()) / br.RateMVA
-				if f.LoadingPct > sol.MaxThermalLoading {
-					sol.MaxThermalLoading = f.LoadingPct
-				}
-				if f.LoadingPct > 99.5 {
-					sol.BindingFlowLimits++
-				}
-			}
-		}
-		sol.Flows[k] = f
-	}
+	// Batched flow tail: one kernel pass into per-end scratch, then the
+	// shared record conversion — the same code path powerflow result
+	// assembly uses, so loading/loss math lives in exactly one place.
+	nbr := len(n.Branches)
+	sf := make([]complex128, nbr)
+	st := make([]complex128, nbr)
+	a.y.BranchFlowsInto(n, v, sf, st)
+	sol.Flows = make([]powerflow.BranchFlow, nbr)
+	sol.LossMW = powerflow.FillBranchFlows(n, sol.Flows, sf, st)
+	sol.foldFlowStats()
 
 	// Residual power balance at the solution (the validation quantity).
 	s := a.y.Injections(v)

@@ -103,6 +103,30 @@ func (f BranchFlow) MVAFrom() float64 { return math.Hypot(f.FromP, f.FromQ) }
 // MVATo returns the apparent power at the to end in MVA.
 func (f BranchFlow) MVATo() float64 { return math.Hypot(f.ToP, f.ToQ) }
 
+// FillBranchFlows converts the batched per-end complex flows of
+// Ybus.BranchFlowsInto (MVA, out-of-service branches zero) into BranchFlow
+// records — P/Q at both ends plus the loading against the rating — and
+// returns the total active-power loss. flows, sf and st all have length
+// len(n.Branches). The per-branch arithmetic is the single copy every flow
+// consumer (power-flow result assembly, ACOPF solution extraction) shares,
+// so loading and loss cannot drift between them. It allocates nothing.
+func FillBranchFlows(n *model.Network, flows []BranchFlow, sf, st []complex128) (lossP float64) {
+	for k := range n.Branches {
+		br := &n.Branches[k]
+		f := BranchFlow{Branch: k}
+		if br.InService {
+			f.FromP, f.FromQ = real(sf[k]), imag(sf[k])
+			f.ToP, f.ToQ = real(st[k]), imag(st[k])
+			lossP += f.FromP + f.ToP
+			if br.RateMVA > 0 {
+				f.LoadingPct = 100 * math.Max(f.MVAFrom(), f.MVATo()) / br.RateMVA
+			}
+		}
+		flows[k] = f
+	}
+	return lossP
+}
+
 // Result is a solved power flow.
 type Result struct {
 	Converged   bool
@@ -333,6 +357,15 @@ type resultScratch struct {
 	v, s         []complex128
 	gensAt       [][]int
 	loadP, loadQ []float64
+	// sf/st are the batched branch-flow kernel's per-end scratch and flows
+	// the BranchFlow buffer result assembly fills in place. A sweep worker
+	// reuses one scratch across its outages, so Result.Flows ALIASES this
+	// buffer: each solve on the same scratch overwrites the previous
+	// result's flows. Sweep scoring consumes flows before the next solve;
+	// one-shot solves build a fresh scratch per call, so their results keep
+	// unique ownership.
+	sf, st []complex128
+	flows  []BranchFlow
 	// genP is the effective per-generator dispatch in MW: base setpoints,
 	// or the view's redispatch overrides after configureView.
 	genP []float64
@@ -346,6 +379,7 @@ type resultScratch struct {
 // value-identical.
 func newResultScratch(n *model.Network) *resultScratch {
 	nb := len(n.Buses)
+	nbr := len(n.Branches)
 	sc := &resultScratch{
 		v:      make([]complex128, nb),
 		s:      make([]complex128, nb),
@@ -353,6 +387,9 @@ func newResultScratch(n *model.Network) *resultScratch {
 		loadP:  make([]float64, nb),
 		loadQ:  make([]float64, nb),
 		genP:   make([]float64, len(n.Gens)),
+		sf:     make([]complex128, nbr),
+		st:     make([]complex128, nbr),
+		flows:  make([]BranchFlow, nbr),
 	}
 	sc.configureBase(n)
 	for _, l := range n.Loads {
@@ -434,22 +471,13 @@ func finishResultScratch(n *model.Network, y *model.Ybus, c *classification, vm,
 	model.VoltageVectorInto(v, vm, va)
 	y.InjectionsInto(s, v)
 
-	res.Flows = make([]BranchFlow, len(n.Branches))
-	var lossP float64
-	for k, br := range n.Branches {
-		f := BranchFlow{Branch: k}
-		if br.InService {
-			sf, st := y.BranchFlow(n, k, v)
-			f.FromP, f.FromQ = real(sf), imag(sf)
-			f.ToP, f.ToQ = real(st), imag(st)
-			lossP += f.FromP + f.ToP
-			if br.RateMVA > 0 {
-				f.LoadingPct = 100 * math.Max(f.MVAFrom(), f.MVATo()) / br.RateMVA
-			}
-		}
-		res.Flows[k] = f
-	}
-	res.LossP = lossP
+	// Batched flow tail: one kernel pass over all branches into the
+	// scratch's buffers. The result borrows the scratch's flows slice —
+	// fresh per call for one-shot solves, reused per worker in sweeps (see
+	// resultScratch for the aliasing contract).
+	y.BranchFlowsInto(n, v, sc.sf, sc.st)
+	res.Flows = sc.flows
+	res.LossP = FillBranchFlows(n, sc.flows, sc.sf, sc.st)
 
 	// Allocate generator outputs: P from setpoints except slack picks up
 	// the residual; Q distributed over each bus's units in proportion to
